@@ -1,0 +1,42 @@
+"""Shared helpers for the benchmark harness.
+
+Every ``bench_*.py`` file regenerates one table or figure of the paper
+(see DESIGN.md's experiment index): it computes the same rows/series
+the paper reports, prints them (run with ``-s`` to see the output, or
+read ``EXPERIMENTS.md`` for the recorded values), asserts the *shape*
+claims (who wins, orderings, rough factors) and times the computation
+under ``pytest-benchmark``.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+
+def print_table(title: str, headers: Sequence[str], rows: Iterable[Sequence]) -> str:
+    """Format and print an ASCII table; returns the text."""
+    rows = [[_fmt(c) for c in row] for row in rows]
+    widths = [
+        max(len(str(headers[i])), max((len(r[i]) for r in rows), default=0))
+        for i in range(len(headers))
+    ]
+    lines = [title]
+    lines.append("  " + "  ".join(str(h).ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  " + "  ".join("-" * w for w in widths))
+    for r in rows:
+        lines.append("  " + "  ".join(c.ljust(w) for c, w in zip(r, widths)))
+    text = "\n".join(lines)
+    print("\n" + text)
+    return text
+
+
+def _fmt(x) -> str:
+    if isinstance(x, float):
+        return f"{x:.2f}"
+    return str(x)
+
+
+def series(label: str, xs: Sequence, ys: Sequence[float]) -> None:
+    """Print one figure series as x/y pairs."""
+    pairs = "  ".join(f"({x}, {y:.2f})" for x, y in zip(xs, ys))
+    print(f"  {label}: {pairs}")

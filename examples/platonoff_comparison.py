@@ -1,0 +1,59 @@
+#!/usr/bin/env python
+"""Section 7.2: two-step heuristic vs. Platonoff's broadcast-first
+strategy on Example 5.
+
+    for t = 1 to n:              (sequential)
+      for i, j, k = 1 to n:      (parallel)
+        S: a[t, i, j, k] = b[t, i, j]
+
+Platonoff detects the broadcast along ``k`` first and *preserves* it,
+committing to a mapping that issues one partial broadcast per (i, j)
+pair per time step.  The two-step heuristic zeroes communications
+first — choosing ``M_b = [rows of the identity]`` and
+``M_S = M_a = M_b F_b`` — and the nest becomes communication-free.
+
+Run:  python examples/platonoff_comparison.py
+"""
+
+from repro.alignment import two_step_heuristic
+from repro.baselines import platonoff_mapping
+from repro.ir import outer_sequential_schedules, platonoff_example
+from repro.machine import ParagonModel
+from repro.runtime import Folding, MappedProgram, execute
+
+
+def main() -> None:
+    nest = platonoff_example()
+    print(nest.describe())
+    schedules = outer_sequential_schedules(nest, outer=1)
+    machine = ParagonModel(3, 3)
+    folding = Folding(mesh=machine.mesh, extent=9)
+    n = 4
+    params = {"n": n}
+
+    print("\n=== two-step heuristic (this paper) ===")
+    ours = two_step_heuristic(nest, m=2, schedules=schedules)
+    print(ours.describe())
+    rep = execute(
+        MappedProgram(mapping=ours, folding=folding, params=params), machine
+    )
+    print(rep.describe())
+
+    print("\n=== Platonoff's broadcast-first strategy ===")
+    theirs = platonoff_mapping(nest, m=2, schedules=schedules)
+    print(theirs.describe())
+    rep_b = execute(
+        MappedProgram(mapping=theirs, folding=folding, params=params), machine
+    )
+    print(rep_b.describe())
+
+    print(
+        f"\nn = {n}: ours moves {rep.total_messages} messages "
+        f"(time {rep.total_time:.0f}), broadcast-first moves "
+        f"{rep_b.total_messages} (time {rep_b.total_time:.0f}) — "
+        "the gap grows with n."
+    )
+
+
+if __name__ == "__main__":
+    main()

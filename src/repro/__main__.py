@@ -1,0 +1,98 @@
+"""Command-line driver: map a loop-nest source file and report.
+
+Usage::
+
+    python -m repro NEST_FILE [--m 2] [--mesh 4x4] [--params N=6,M=6]
+                    [--spmd] [--execute]
+
+Reads the nest notation of :mod:`repro.ir.parser`, runs the two-step
+heuristic, prints the mapping summary, optionally emits the SPMD
+pseudo-program and prices an execution on a mesh model.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+
+def _parse_params(text: str):
+    out = {}
+    if not text:
+        return out
+    for item in text.split(","):
+        key, _, val = item.partition("=")
+        out[key.strip()] = int(val)
+    return out
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Map an affine loop nest (two-step heuristic of "
+        "Dion, Randriamaro & Robert, IPPS'96).",
+    )
+    ap.add_argument("nest_file", help="loop-nest source file")
+    ap.add_argument("--m", type=int, default=2, help="virtual grid dimension")
+    ap.add_argument("--mesh", default="4x4", help="physical mesh PxQ")
+    ap.add_argument(
+        "--params", default="", help="size bindings, e.g. N=6,M=6"
+    )
+    ap.add_argument(
+        "--outer-sequential",
+        type=int,
+        default=0,
+        metavar="K",
+        help="schedule the first K loops sequentially (default: infer "
+        "all-parallel)",
+    )
+    ap.add_argument("--spmd", action="store_true", help="emit SPMD pseudo-code")
+    ap.add_argument(
+        "--execute", action="store_true", help="price the execution on the mesh"
+    )
+    args = ap.parse_args(argv)
+
+    from .alignment import two_step_heuristic
+    from .ir import outer_sequential_schedules, parse_nest
+    from .report import format_mapping_summary
+
+    try:
+        with open(args.nest_file) as fh:
+            source = fh.read()
+    except OSError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    nest = parse_nest(source, name=args.nest_file)
+    print(nest.describe())
+    print()
+
+    schedules = None
+    if args.outer_sequential > 0:
+        schedules = outer_sequential_schedules(nest, outer=args.outer_sequential)
+    result = two_step_heuristic(nest, m=args.m, schedules=schedules)
+    print(result.describe())
+    print()
+    print(format_mapping_summary(result))
+
+    if args.spmd:
+        from .codegen import generate_spmd
+
+        print()
+        print(generate_spmd(result))
+
+    if args.execute:
+        from .machine import ParagonModel
+        from .runtime import Folding, MappedProgram, execute
+
+        p, _, q = args.mesh.partition("x")
+        machine = ParagonModel(int(p), int(q))
+        params = _parse_params(args.params)
+        folding = Folding(mesh=machine.mesh, extent=4 * max(int(p), int(q)))
+        program = MappedProgram(mapping=result, folding=folding, params=params)
+        print()
+        print(execute(program, machine).describe())
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,58 @@
+"""Alignment core — the paper's primary contribution.
+
+* :mod:`~repro.alignment.digraph` — directed multigraph + Edmonds'
+  maximum branching (from scratch);
+* :mod:`~repro.alignment.access_graph` — the weighted access graph
+  ``G(V, E, m)`` of Section 2.2.2;
+* :mod:`~repro.alignment.allocation` — heuristic step 1: branching,
+  edge re-addition, deficient-rank constraints, allocation propagation;
+* :mod:`~repro.alignment.heuristic` — the complete two-step heuristic
+  of Section 6 (step 2 optimizes residuals via macro-communications,
+  axis rotations and decompositions).
+"""
+
+from .access_graph import (
+    AccessGraph,
+    AccessRef,
+    EdgeInfo,
+    build_access_graph,
+    stmt_node,
+    var_node,
+)
+from .allocation import Alignment, ResidualComm, align
+from .digraph import (
+    Digraph,
+    Edge,
+    branching_roots,
+    connected_components,
+    is_branching,
+    maximum_branching,
+)
+from .heuristic import (
+    MappingResult,
+    OptimizedResidual,
+    optimize_residuals,
+    two_step_heuristic,
+)
+
+__all__ = [
+    "Digraph",
+    "Edge",
+    "maximum_branching",
+    "branching_roots",
+    "connected_components",
+    "is_branching",
+    "AccessGraph",
+    "AccessRef",
+    "EdgeInfo",
+    "build_access_graph",
+    "var_node",
+    "stmt_node",
+    "Alignment",
+    "ResidualComm",
+    "align",
+    "MappingResult",
+    "OptimizedResidual",
+    "optimize_residuals",
+    "two_step_heuristic",
+]

@@ -1,0 +1,14 @@
+"""Comparison baselines (Section 7).
+
+* :func:`feautrier_align` — greedy volume-first edge zeroing (Feautrier
+  style), same propagation machinery, no Edmonds optimality and no
+  step-1c refinements;
+* :func:`platonoff_mapping` — Platonoff's broadcast-first strategy:
+  preserve the program's broadcasts (axis-parallel), then zero out what
+  the constraints allow.
+"""
+
+from .feautrier import feautrier_align, greedy_edge_selection
+from .platonoff import platonoff_mapping
+
+__all__ = ["feautrier_align", "greedy_edge_selection", "platonoff_mapping"]

@@ -1,0 +1,5 @@
+"""SPMD node-program generation from a mapping result."""
+
+from .spmd import generate_spmd
+
+__all__ = ["generate_spmd"]

@@ -1,0 +1,145 @@
+"""Communication decomposition (Section 5).
+
+* :mod:`~repro.decomp.elementary` — ``L``/``U`` and unirow factors;
+* :mod:`~repro.decomp.twobytwo` — analytic <=4-factor decomposition of
+  2x2 determinant-1 data-flow matrices;
+* :mod:`~repro.decomp.similarity` — unimodular-similarity reduction to
+  two factors (sufficient condition + bounded search);
+* :mod:`~repro.decomp.general` — unirow decomposition of arbitrary
+  non-singular matrices;
+* :mod:`~repro.decomp.search` — exhaustive shortest-word oracle.
+
+The top-level :func:`decompose_dataflow` picks the best strategy for a
+residual communication's data-flow matrix.
+"""
+
+from typing import List, Optional, Tuple
+
+from ..linalg import IntMat
+from .elementary import (
+    L,
+    U,
+    axis_of_elementary,
+    elementary,
+    is_elementary,
+    is_unirow,
+    kind_2x2,
+    verify_factors,
+)
+from .general import triangular_unirow_factors, unirow_decomposition
+from .quadratic import (
+    forms_equivalent,
+    lu_trace_forms,
+    matrix_to_form,
+    reduction_cycle,
+    similar_to_lu_decision,
+)
+from .search import enumerate_det1, shortest_decomposition
+from .similarity import (
+    conjugate,
+    similar_to_two_factors_search,
+    similar_to_two_factors_sufficient,
+    two_factor_traces,
+)
+from .twobytwo import (
+    decompose_2x2,
+    decompose_four,
+    decompose_one,
+    decompose_three,
+    decompose_two,
+)
+
+__all__ = [
+    "L",
+    "U",
+    "elementary",
+    "is_elementary",
+    "is_unirow",
+    "axis_of_elementary",
+    "kind_2x2",
+    "verify_factors",
+    "decompose_2x2",
+    "decompose_one",
+    "decompose_two",
+    "decompose_three",
+    "decompose_four",
+    "similar_to_two_factors_sufficient",
+    "similar_to_two_factors_search",
+    "conjugate",
+    "two_factor_traces",
+    "unirow_decomposition",
+    "triangular_unirow_factors",
+    "shortest_decomposition",
+    "enumerate_det1",
+    "similar_to_lu_decision",
+    "matrix_to_form",
+    "forms_equivalent",
+    "reduction_cycle",
+    "lu_trace_forms",
+    "decompose_dataflow",
+    "DecompositionPlan",
+]
+
+
+class DecompositionPlan:
+    """Result of :func:`decompose_dataflow`.
+
+    Attributes
+    ----------
+    factors:
+        Unirow factors whose ordered product equals the (possibly
+        conjugated) data-flow matrix.
+    conjugator:
+        Unimodular ``M`` applied to the component's allocations (so the
+        decomposed matrix is ``M T M^{-1}``), or ``None`` when ``T`` was
+        decomposed directly.
+    strategy:
+        Human-readable tag ("direct", "similarity", "unirow").
+    """
+
+    def __init__(self, factors: List[IntMat], conjugator: Optional[IntMat], strategy: str):
+        self.factors = factors
+        self.conjugator = conjugator
+        self.strategy = strategy
+
+    @property
+    def num_phases(self) -> int:
+        return len(self.factors)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"DecompositionPlan({self.strategy}, {self.num_phases} phases, "
+            f"conjugated={self.conjugator is not None})"
+        )
+
+
+def decompose_dataflow(
+    t: IntMat, allow_conjugation: bool = True, similarity_bound: int = 2
+) -> DecompositionPlan:
+    """Decompose a data-flow matrix into axis-parallel phases.
+
+    Strategy order (2x2, det 1): direct <=2 factors; similarity to a
+    2-factor product (when allowed); direct <=4 factors; exhaustive
+    short search; unirow fallback.  Arbitrary square matrices go
+    straight to the unirow decomposition.
+    """
+    if t.shape == (2, 2) and t.det() == 1:
+        two = decompose_one(t)
+        if two is None:
+            two = decompose_two(t)
+        if two is not None:
+            return DecompositionPlan(two, None, "direct")
+        if allow_conjugation:
+            sim = similar_to_two_factors_sufficient(t)
+            if sim is None:
+                sim = similar_to_two_factors_search(t, bound=similarity_bound)
+            if sim is not None:
+                m, factors = sim
+                return DecompositionPlan(factors, m, "similarity")
+        direct = decompose_2x2(t)
+        if direct is not None:
+            return DecompositionPlan(direct, None, "direct")
+        found = shortest_decomposition(t)
+        if found is not None:
+            return DecompositionPlan(found, None, "search")
+    return DecompositionPlan(unirow_decomposition(t), None, "unirow")

@@ -1,0 +1,110 @@
+"""Elementary communication matrices (Section 5.1).
+
+In two dimensions the elementary data-flow matrices are
+
+* ``L(l) = [[1, 0], [l, 1]]`` — a *horizontal* communication: processor
+  ``(i, j)`` sends to ``(i, j + l i)``-style neighbours along one grid
+  row family;
+* ``U(k) = [[1, k], [0, 1]]`` — a *vertical* communication.
+
+In higher dimensions an elementary matrix is the identity except for
+one row (the paper's ``L_i`` with a single non-trivial row), so the
+induced communication moves data parallel to a single axis of the
+virtual grid.  A matrix that differs from the identity in one row but
+also on the diagonal ("unirow") covers the arbitrary-determinant
+extension of Section 5.4.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from ..linalg import IntMat
+
+
+def L(l: int) -> IntMat:
+    """The 2x2 lower elementary matrix (horizontal communication)."""
+    return IntMat([[1, 0], [l, 1]])
+
+
+def U(k: int) -> IntMat:
+    """The 2x2 upper elementary matrix (vertical communication)."""
+    return IntMat([[1, k], [0, 1]])
+
+
+def elementary(n: int, row: int, entries: Sequence[int], diag: int = 1) -> IntMat:
+    """The ``n x n`` matrix equal to identity except row ``row``, whose
+    entries are ``entries`` (length ``n``) with ``entries[row]`` forced
+    to ``diag``.  ``diag == 1`` gives the paper's elementary matrix;
+    other values give general unirow factors."""
+    if len(entries) != n:
+        raise ValueError("entries must have length n")
+    rows = IntMat.identity(n).tolist()
+    rows[row] = list(entries)
+    rows[row][row] = diag
+    return IntMat(rows)
+
+
+def is_elementary(t: IntMat) -> bool:
+    """True iff ``t`` is identity except for off-diagonal entries in a
+    single row (determinant 1 elementary factor)."""
+    if not t.is_square:
+        return False
+    n = t.nrows
+    bad_rows = []
+    for i in range(n):
+        if t[i, i] != 1:
+            return False
+        if any(t[i, j] != 0 for j in range(n) if j != i):
+            bad_rows.append(i)
+    return len(bad_rows) <= 1
+
+
+def is_unirow(t: IntMat) -> bool:
+    """True iff ``t`` differs from the identity in at most one row
+    (diagonal entry of that row may be any non-zero integer)."""
+    if not t.is_square:
+        return False
+    n = t.nrows
+    bad_rows = set()
+    for i in range(n):
+        for j in range(n):
+            expect = 1 if i == j else 0
+            if t[i, j] != expect:
+                bad_rows.add(i)
+    if len(bad_rows) > 1:
+        return False
+    for i in bad_rows:
+        if t[i, i] == 0:
+            return False
+    return True
+
+
+def axis_of_elementary(t: IntMat) -> Optional[int]:
+    """The grid axis along which the elementary/unirow communication
+    moves data (the index of the non-trivial row), or ``None`` for the
+    identity."""
+    if not is_unirow(t):
+        raise ValueError("not a unirow matrix")
+    n = t.nrows
+    for i in range(n):
+        if t[i, i] != 1 or any(t[i, j] != 0 for j in range(n) if j != i):
+            return i
+    return None
+
+
+def kind_2x2(t: IntMat) -> str:
+    """Classify a 2x2 elementary matrix as ``'L'``, ``'U'`` or ``'I'``."""
+    if t.shape != (2, 2) or not is_elementary(t):
+        raise ValueError("not a 2x2 elementary matrix")
+    if t.is_identity():
+        return "I"
+    return "L" if t[1, 0] != 0 else "U"
+
+
+def verify_factors(t: IntMat, factors: List[IntMat]) -> bool:
+    """Check ``product(factors) == t`` (empty product = identity)."""
+    acc = IntMat.identity(t.nrows)
+    for f in factors:
+        acc = acc @ f
+    return acc == t

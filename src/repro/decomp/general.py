@@ -1,0 +1,116 @@
+"""Decomposition of arbitrary non-singular data-flow matrices into
+unirow factors (Section 5.4).
+
+Determinant-1 matrices decompose into elementary (unit-diagonal)
+factors; an arbitrary non-singular ``T`` needs *unirow* factors —
+matrices equal to the identity except in one row, whose diagonal entry
+may differ from 1.  Each unirow factor still generates a communication
+parallel to one axis of the virtual grid, which the grouped partition
+of Section 5.3 implements efficiently.
+
+Algorithm:
+
+1. reduce ``T`` to an upper-triangular matrix by integer row operations
+   whose inverses are themselves unirow factors: *shears*
+   (``row_i += k row_j``), *sign flips* and *swaps* (a swap is a flip
+   followed by three shears);
+2. peel the triangular remainder: an upper-triangular matrix ``H``
+   equals ``R_{n-1} @ ... @ R_0`` where ``R_i`` is the identity with
+   row ``i`` replaced by row ``i`` of ``H`` (row ``i`` of ``R_i`` only
+   reads rows ``>= i`` of the partial product, which are still unit
+   rows at that point).
+
+The final factor list is verified by multiplication before returning.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..linalg import IntMat
+from .elementary import elementary, verify_factors
+
+
+def _shear(n: int, dst: int, src: int, k: int) -> IntMat:
+    """Identity plus ``k`` at position (dst, src)."""
+    return elementary(n, dst, [k if j == src else 0 for j in range(n)], diag=1)
+
+
+def _flip(n: int, row: int) -> IntMat:
+    """Identity with a -1 at position (row, row)."""
+    return elementary(n, row, [0] * n, diag=-1)
+
+
+def triangular_unirow_factors(h: IntMat, lower: bool = False) -> List[IntMat]:
+    """Unirow factorization of a triangular matrix.
+
+    Upper triangular: ``H = R_{n-1} @ ... @ R_0``;
+    lower triangular: ``H = R_0 @ ... @ R_{n-1}``;
+    each ``R_i`` is identity except row ``i`` = row ``i`` of ``H``.
+    """
+    n = h.nrows
+    factors = [
+        elementary(n, i, list(h[i]), diag=h[i, i]) for i in range(n)
+    ]
+    ordered = factors if lower else list(reversed(factors))
+    # drop identity factors
+    ordered = [f for f in ordered if not f.is_identity()]
+    if not verify_factors(h, ordered):  # pragma: no cover - invariant net
+        raise AssertionError("triangular peel failed verification")
+    return ordered
+
+
+def unirow_decomposition(t: IntMat) -> List[IntMat]:
+    """Decompose any non-singular integer ``T`` into unirow factors.
+
+    Returns ``[R_1, ..., R_k]`` with ``R_1 @ ... @ R_k == T``, each
+    identity-except-one-row.  Exactness is asserted before returning.
+    """
+    if not t.is_square:
+        raise ValueError("unirow_decomposition needs a square matrix")
+    if t.det() == 0:
+        raise ValueError("unirow_decomposition needs a non-singular matrix")
+    n = t.nrows
+    work = [list(r) for r in t.rows()]
+    # maintain T == product(prefix_ops) @ IntMat(work)
+    prefix_ops: List[IntMat] = []
+
+    def shear(dst: int, src: int, k: int) -> None:
+        if k == 0:
+            return
+        work[dst] = [x + k * y for x, y in zip(work[dst], work[src])]
+        prefix_ops.append(_shear(n, dst, src, -k))
+
+    def flip(row: int) -> None:
+        work[row] = [-x for x in work[row]]
+        prefix_ops.append(_flip(n, row))
+
+    def swap(i: int, j: int) -> None:
+        # [[0,1],[1,0]] = flip(i) . shear(i,j,1) . shear(j,i,-1) . shear(i,j,1)
+        shear(i, j, 1)
+        shear(j, i, -1)
+        shear(i, j, 1)
+        flip(j)
+
+    for col in range(n):
+        while True:
+            nz = [i for i in range(col, n) if work[i][col] != 0]
+            below = [i for i in nz if i > col]
+            if not below:
+                break
+            pivot_row = min(nz, key=lambda i: abs(work[i][col]))
+            if pivot_row != col:
+                swap(col, pivot_row)
+            piv = work[col][col]
+            for i in range(col + 1, n):
+                if work[i][col] != 0:
+                    shear(i, col, -(work[i][col] // piv))
+            # each pass strictly shrinks min |non-zero| (Euclid): loop
+            # re-checks and terminates when the column is clean below.
+
+    tri = IntMat(work)
+    factors = prefix_ops + triangular_unirow_factors(tri, lower=False)
+    factors = [f for f in factors if not f.is_identity()]
+    if not verify_factors(t, factors):  # pragma: no cover - invariant net
+        raise AssertionError("unirow decomposition failed verification")
+    return factors

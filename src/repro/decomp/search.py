@@ -1,0 +1,85 @@
+"""Exhaustive shortest-product search over elementary matrices.
+
+Used (a) to validate the analytic 1/2/3/4-factor conditions of
+Section 5.2.1, (b) to exercise the paper's observation that every 2x2,
+``det = 1`` matrix with entries of absolute value at most 5 is a product
+of at most four elementary factors, and (c) as a fallback decomposer
+for the rare residual matrices the analytic rules miss.
+
+The search runs meet-in-the-middle BFS over reduced words in
+``{L(l), U(k)}`` with coefficients bounded by ``coeff_bound``; words
+alternate L/U blocks because adjacent same-type factors merge.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from ..linalg import IntMat
+from .elementary import L, U
+
+
+def _neighbours(coeff_bound: int, last_kind: Optional[str]):
+    """Elementary factors usable after a factor of ``last_kind``."""
+    out: List[Tuple[str, IntMat]] = []
+    for c in range(-coeff_bound, coeff_bound + 1):
+        if c == 0:
+            continue
+        if last_kind != "L":
+            out.append(("L", L(c)))
+        if last_kind != "U":
+            out.append(("U", U(c)))
+    return out
+
+
+def shortest_decomposition(
+    t: IntMat, max_len: int = 6, coeff_bound: int = 8
+) -> Optional[List[IntMat]]:
+    """Shortest product of elementary matrices equal to ``T`` (2x2,
+    ``det = 1``), with word length at most ``max_len`` and coefficients
+    bounded by ``coeff_bound``; ``None`` when no such word exists within
+    the bounds."""
+    if t.shape != (2, 2) or t.det() != 1:
+        raise ValueError("search expects a 2x2 determinant-1 matrix")
+    ident = IntMat.identity(2)
+    if t == ident:
+        return []
+    # BFS over partial products, tracking the last factor kind to keep
+    # words reduced.  State: (matrix, last_kind) -> factor list.
+    frontier: Dict[Tuple[IntMat, Optional[str]], List[IntMat]] = {
+        (ident, None): []
+    }
+    seen = {ident}
+    for _ in range(max_len):
+        nxt: Dict[Tuple[IntMat, Optional[str]], List[IntMat]] = {}
+        for (mat, last), word in frontier.items():
+            for kind, fac in _neighbours(coeff_bound, last):
+                prod = mat @ fac
+                new_word = word + [fac]
+                if prod == t:
+                    return new_word
+                key = (prod, kind)
+                if key in nxt:
+                    continue
+                # growing entries way past T's are never useful at
+                # these tiny lengths; prune generously
+                if prod.max_abs() > (t.max_abs() + 2) * (coeff_bound + 1):
+                    continue
+                nxt[key] = new_word
+        frontier = nxt
+        if not frontier:
+            break
+    return None
+
+
+def enumerate_det1(bound: int):
+    """All 2x2 integer matrices with ``det == 1`` and entries in
+    ``[-bound, bound]`` (the exhaustive-coverage experiment of
+    Section 5.2.1)."""
+    rng = range(-bound, bound + 1)
+    for a in rng:
+        for b in rng:
+            for c in rng:
+                for d in rng:
+                    if a * d - b * c == 1:
+                        yield IntMat([[a, b], [c, d]])

@@ -1,0 +1,103 @@
+"""Unimodular-similarity reduction (Section 5.2.2).
+
+Allocation matrices of one connected component are fixed only up to a
+common unimodular left factor ``M``; replacing them rotates the
+data-flow matrix ``T`` into ``M T M^{-1}``.  Instead of decomposing
+``T`` itself we may therefore look for a *similar* matrix that is a
+product of just two elementary factors (one horizontal plus one
+vertical communication).
+
+The paper shows via Latimer–MacDuffee that this is **not always
+possible** — similarity classes correspond to ideal classes of
+``Z[X]/(X^2 - tr(T) X + 1)`` and products ``L·U`` reach only a bounded
+number of classes per trace — and gives a sufficient condition that
+matches the 3-factor divisibility test:
+
+    if ``c | a - 1`` then with ``β = (a - 1)/c`` and the unimodular
+    basis change ``M = [[1, -β], [0, 1]]^{-1}``-style conjugation,
+    ``M T M^{-1}`` has top-left entry 1 and is therefore an ``L·U``
+    product.
+
+We implement the analytic sufficient condition plus a bounded
+exhaustive search over unimodular conjugators (for experiments and the
+negative examples).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from ..linalg import IntMat, enumerate_unimodular_2x2, unimodular_inverse
+from .twobytwo import decompose_two
+
+
+def similar_to_two_factors_sufficient(
+    t: IntMat,
+) -> Optional[Tuple[IntMat, List[IntMat]]]:
+    """Apply the paper's sufficient condition.
+
+    Returns ``(M, factors)`` such that ``M T M^{-1} == product(factors)``
+    with exactly (at most) two elementary factors, or ``None`` when the
+    divisibility condition fails.
+
+    Construction: if ``c | a - 1`` take the new basis ``(e1, w)`` with
+    ``w = (β, 1)``, ``β = (a - 1) / c``: then ``T e1 = e1 + c w``, so in
+    that basis the first column of ``T`` is ``(1, c)^T`` — an ``L·U``
+    product.  Symmetrically ``b | d - 1`` works on the transpose side.
+    """
+    a, b = t[0, 0], t[0, 1]
+    c, d = t[1, 0], t[1, 1]
+    if c != 0 and (a - 1) % c == 0:
+        beta = (a - 1) // c
+        basis = IntMat([[1, beta], [0, 1]])  # columns e1, w
+        m = unimodular_inverse(basis)
+        sim = m @ t @ basis
+        factors = decompose_two(sim)
+        if factors is not None:
+            return m, factors
+    if b != 0 and (d - 1) % b == 0:
+        beta = (d - 1) // b
+        basis = IntMat([[1, 0], [beta, 1]])  # columns w', e2
+        m = unimodular_inverse(basis)
+        sim = m @ t @ basis
+        factors = decompose_two(sim)
+        if factors is not None:
+            return m, factors
+    return None
+
+
+def similar_to_two_factors_search(
+    t: IntMat, bound: int = 3
+) -> Optional[Tuple[IntMat, List[IntMat]]]:
+    """Bounded exhaustive search for a unimodular ``M`` (entries in
+    ``[-bound, bound]``) with ``M T M^{-1}`` a two-factor product.
+
+    A ``None`` result is *evidence*, not proof, of impossibility — the
+    paper's genus-theoretic obstruction shows genuine negative instances
+    exist; see ``tests/decomp`` for a certified one via invariant
+    arguments.
+    """
+    for m in enumerate_unimodular_2x2(bound):
+        mi = unimodular_inverse(m)
+        sim = m @ t @ mi
+        factors = decompose_two(sim)
+        if factors is not None:
+            return m, factors
+    return None
+
+
+def conjugate(t: IntMat, m: IntMat) -> IntMat:
+    """``M T M^{-1}`` for unimodular ``M``."""
+    return m @ t @ unimodular_inverse(m)
+
+
+def two_factor_traces(max_lk: int) -> List[int]:
+    """Traces reachable by two-factor products ``L(l) U(k)``:
+    ``tr = 2 + l k`` — used by the similarity-class counting argument
+    (per trace, only the divisor pairs of ``tr - 2`` yield ``L·U``
+    class representatives)."""
+    traces = set()
+    for l in range(-max_lk, max_lk + 1):
+        for k in range(-max_lk, max_lk + 1):
+            traces.add(2 + l * k)
+    return sorted(traces)

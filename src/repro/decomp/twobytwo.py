@@ -1,0 +1,154 @@
+"""Direct decomposition of 2x2 determinant-1 data-flow matrices into at
+most four elementary factors (Section 5.2.1).
+
+With ``T = [[a, b], [c, d]]`` and ``det T = 1``:
+
+* **1 factor**: ``T`` already elementary (``a = d = 1`` and one
+  off-diagonal zero).
+* **2 factors**: ``T = L U`` iff ``a = 1``; ``T = U L`` iff ``d = 1``.
+* **3 factors**: ``T = U(λ) L(c) U(μ)`` iff ``c | a - 1`` (then
+  automatically ``c | d - 1`` since ``a d ≡ 1 (mod c)``), with
+  ``λ = (a-1)/c`` and ``μ = (d-1)/c``; symmetrically ``T = L U L`` iff
+  ``b | d - 1``.
+* **4 factors**: ``T = U(k1) L(l1) U(k2) L(l2)`` iff there is a
+  factorization ``l1 k2 = d - 1`` with ``l1 ≡ c (mod d)`` and
+  ``k2 ≡ b (mod d)`` (then ``l2 = (c - l1)/d``, ``k1 = (b - k2)/d``);
+  symmetric ``L U L U`` condition obtained by transposition.  The
+  solvability search enumerates the divisors of ``|d - 1|``.
+
+The paper observes (and our exhaustive test confirms) that every 2x2,
+``det = 1`` matrix with entries bounded by 5 in absolute value is the
+product of at most four elementary factors.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..linalg import IntMat
+from .elementary import L, U, verify_factors
+
+
+def _divisor_pairs(n: int):
+    """All ordered integer pairs ``(p, q)`` with ``p * q == n`` (both
+    signs); for ``n == 0`` yields pairs with one factor zero and a small
+    companion set — the caller constrains the free factor separately."""
+    if n == 0:
+        yield (0, 0)
+        return
+    a = abs(n)
+    d = 1
+    while d * d <= a:
+        if a % d == 0:
+            for p in (d, -d):
+                q = n // p
+                yield (p, q)
+                if p != q:
+                    yield (q, p)
+        d += 1
+
+
+def decompose_one(t: IntMat) -> Optional[List[IntMat]]:
+    """``T`` as a single elementary factor, or ``None``."""
+    a, b = t[0, 0], t[0, 1]
+    c, d = t[1, 0], t[1, 1]
+    if a == 1 and d == 1:
+        if c == 0:
+            return [U(b)] if b != 0 else []
+        if b == 0:
+            return [L(c)]
+    return None
+
+
+def decompose_two(t: IntMat) -> Optional[List[IntMat]]:
+    """``T = L U`` (iff ``a == 1``) or ``T = U L`` (iff ``d == 1``)."""
+    a, b = t[0, 0], t[0, 1]
+    c, d = t[1, 0], t[1, 1]
+    if a == 1:
+        # [[1, k], [l, 1 + l k]] with k = b, l = c
+        return [L(c), U(b)]
+    if d == 1:
+        return [U(b), L(c)]
+    return None
+
+
+def decompose_three(t: IntMat) -> Optional[List[IntMat]]:
+    """``T = U λ · L c · U μ`` when ``c | a - 1``, or the symmetric
+    ``L λ · U b · L μ`` when ``b | d - 1``."""
+    a, b = t[0, 0], t[0, 1]
+    c, d = t[1, 0], t[1, 1]
+    if c != 0 and (a - 1) % c == 0:
+        lam = (a - 1) // c
+        mu = (d - 1) // c
+        cand = [U(lam), L(c), U(mu)]
+        if verify_factors(t, cand):
+            return cand
+    if b != 0 and (d - 1) % b == 0:
+        lam = (d - 1) // b
+        mu = (a - 1) // b
+        cand = [L(mu), U(b), L(lam)]
+        if verify_factors(t, cand):
+            return cand
+    return None
+
+
+def _decompose_four_ulul(t: IntMat) -> Optional[List[IntMat]]:
+    """``T = U(k1) L(l1) U(k2) L(l2)``.
+
+    From the product: ``d = 1 + l1 k2``, ``c = l1 + l2 d``,
+    ``b = k2 + k1 d``.  Enumerate factorizations of ``d - 1``.
+    """
+    a, b = t[0, 0], t[0, 1]
+    c, d = t[1, 0], t[1, 1]
+    if d == 0:
+        # l1 k2 = -1; c = l1 (so c = ±1), b = k2 = -c; k1 - l2 = c (a - 1)
+        if c in (1, -1) and b == -c:
+            l2 = 0
+            k1 = c * (a - 1)
+            cand = [U(k1), L(c), U(-c), L(l2)]
+            if verify_factors(t, cand):
+                return cand
+        return None
+    for l1, k2 in _divisor_pairs(d - 1):
+        if d == 1:
+            # l1 k2 = 0: take l1 = 0, k2 then free; but d = 1 already
+            # admits a 2-factor decomposition — let the caller prefer it.
+            l1, k2 = 0, b  # c must then be divisible by d=1: always
+        if (c - l1) % d != 0 or (b - k2) % d != 0:
+            continue
+        l2 = (c - l1) // d
+        k1 = (b - k2) // d
+        cand = [U(k1), L(l1), U(k2), L(l2)]
+        if verify_factors(t, cand):
+            return cand
+    return None
+
+
+def decompose_four(t: IntMat) -> Optional[List[IntMat]]:
+    """``T`` as four elementary factors (``ULUL`` then the transposed
+    ``LULU`` attempt)."""
+    direct = _decompose_four_ulul(t)
+    if direct is not None:
+        return direct
+    # LULU for T is ULUL for T^T, transposed back (L^T = U and vice versa)
+    tt = t.T
+    via_t = _decompose_four_ulul(tt)
+    if via_t is not None:
+        return [f.T for f in reversed(via_t)]
+    return None
+
+
+def decompose_2x2(t: IntMat) -> Optional[List[IntMat]]:
+    """Shortest known direct decomposition of a 2x2, det-1 matrix into
+    at most four elementary factors; ``None`` if impossible within 4."""
+    if t.shape != (2, 2):
+        raise ValueError("decompose_2x2 expects a 2x2 matrix")
+    if t.det() != 1:
+        raise ValueError("decompose_2x2 expects determinant 1")
+    if t.is_identity():
+        return []
+    for fn in (decompose_one, decompose_two, decompose_three, decompose_four):
+        out = fn(t)
+        if out is not None:
+            return out
+    return None

@@ -1,0 +1,26 @@
+"""Virtual-to-physical data distributions (Section 5.3).
+
+BLOCK / CYCLIC / CYCLIC(B) as in HPF, plus the paper's grouped
+partition tuned to elementary ``L``/``U`` communications, and 2-D
+product distributions for mesh machines.
+"""
+
+from .schemes import (
+    BlockCyclicDistribution,
+    BlockDistribution,
+    CyclicDistribution,
+    Distribution1D,
+    Distribution2D,
+    GroupedDistribution,
+    make_1d,
+)
+
+__all__ = [
+    "Distribution1D",
+    "Distribution2D",
+    "BlockDistribution",
+    "CyclicDistribution",
+    "BlockCyclicDistribution",
+    "GroupedDistribution",
+    "make_1d",
+]

@@ -1,0 +1,106 @@
+"""Affine array accesses ``I -> F I + c``.
+
+Every array reference in an affine loop nest is described by an access
+matrix ``F`` (``q_x`` rows — the array dimension — and ``d`` columns —
+the statement depth) and a constant offset vector ``c``.  The alignment
+equations of the paper only involve ``F`` (the non-local term); ``c``
+contributes the local, fixed-size translation term.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Optional, Sequence, Tuple
+
+from ..linalg import IntMat, rank
+
+
+class AccessKind(Enum):
+    """Whether the reference reads or writes the array."""
+
+    READ = "read"
+    WRITE = "write"
+
+
+@dataclass(frozen=True)
+class AffineAccess:
+    """One affine array reference ``x[F I + c]`` inside a statement.
+
+    Attributes
+    ----------
+    array:
+        Name of the accessed array.
+    F:
+        The ``q_x x d`` access matrix.
+    c:
+        The ``q_x x 1`` constant offset (defaults to zero).
+    kind:
+        Read or write.
+    label:
+        Optional identifier (the paper numbers accesses F1..F9).
+    """
+
+    array: str
+    F: IntMat
+    c: IntMat = field(default=None)  # type: ignore[assignment]
+    kind: AccessKind = AccessKind.READ
+    label: Optional[str] = None
+
+    def __post_init__(self):
+        if self.c is None:
+            object.__setattr__(self, "c", IntMat.zeros(self.F.nrows, 1))
+        if self.c.shape != (self.F.nrows, 1):
+            raise ValueError(
+                f"offset shape {self.c.shape} incompatible with access matrix "
+                f"{self.F.shape}"
+            )
+
+    @property
+    def array_dim(self) -> int:
+        """``q_x``: dimension of the accessed array region."""
+        return self.F.nrows
+
+    @property
+    def depth(self) -> int:
+        """``d``: depth of the surrounding statement."""
+        return self.F.ncols
+
+    @property
+    def rank(self) -> int:
+        return rank(self.F)
+
+    @property
+    def is_full_rank(self) -> bool:
+        """True iff ``rank(F) == min(q_x, d)``."""
+        return self.rank == min(self.F.shape)
+
+    def apply(self, index: Sequence[int]) -> Tuple[int, ...]:
+        """Evaluate ``F I + c`` on a concrete iteration vector."""
+        if len(index) != self.depth:
+            raise ValueError(
+                f"iteration vector length {len(index)} != depth {self.depth}"
+            )
+        col = IntMat.col(list(index))
+        out = self.F @ col + self.c
+        return out.column_tuple(0)
+
+    def describe(self) -> str:
+        tag = self.label or f"{self.array}[{self.kind.value}]"
+        return f"{tag}: {self.array}, F={self.F.tolist()}, c={self.c.column_tuple(0)}"
+
+
+def read(array: str, f_rows: Sequence[Sequence[int]], c: Optional[Sequence[int]] = None,
+         label: Optional[str] = None) -> AffineAccess:
+    """Convenience constructor for a read access."""
+    f = IntMat(f_rows)
+    cc = IntMat.col(list(c)) if c is not None else None
+    return AffineAccess(array=array, F=f, c=cc, kind=AccessKind.READ, label=label)
+
+
+def write(array: str, f_rows: Sequence[Sequence[int]], c: Optional[Sequence[int]] = None,
+          label: Optional[str] = None) -> AffineAccess:
+    """Convenience constructor for a write access."""
+    f = IntMat(f_rows)
+    cc = IntMat.col(list(c)) if c is not None else None
+    return AffineAccess(array=array, F=f, c=cc, kind=AccessKind.WRITE, label=label)

@@ -1,0 +1,246 @@
+"""Affine dependence analysis.
+
+The paper assumes the motivating loop nest is fully parallel ("check
+with Tiny"); this module is the substrate that performs that check.  A
+dependence exists between access ``(S1, F1, c1)`` and ``(S2, F2, c2)``
+on the same array (at least one a write) iff the linear system
+
+    ``F1 I1 + c1 = F2 I2 + c2``
+
+has an integer solution with both ``I1`` and ``I2`` inside their
+iteration domains.  We combine three classical tests, each exact in the
+direction it reports:
+
+1. **GCD test** — necessary condition for integer solvability of each
+   subscript equation; a failure disproves the dependence.
+2. **Exact lattice test** — integer solvability of the whole stacked
+   system via the Smith form (no approximation).
+3. **Bounds test** — Fourier–Motzkin elimination over the rationals on
+   the solution lattice restricted to the loop bounds; exactness holds
+   for the rational relaxation and is conservative (may report a
+   dependence that only rational points realize, which is safe).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from math import gcd
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..linalg import IntMat, solve_axb
+from .access import AccessKind, AffineAccess
+from .loopnest import LoopNest, Statement
+
+
+@dataclass(frozen=True)
+class Dependence:
+    """A (possibly conservative) dependence between two accesses."""
+
+    array: str
+    source: str  # statement name
+    sink: str
+    kind: str  # "flow", "anti", "output", "input"
+    proven: bool  # True if an explicit witness was found
+
+
+# ---------------------------------------------------------------------------
+# test 1: GCD
+# ---------------------------------------------------------------------------
+
+def gcd_test(f1: IntMat, c1: IntMat, f2: IntMat, c2: IntMat) -> bool:
+    """Return False when the GCD test *disproves* any integer solution
+    of ``F1 I1 - F2 I2 = c2 - c1`` (row by row); True otherwise."""
+    rows = f1.nrows
+    for r in range(rows):
+        coeffs = list(f1[r]) + [-x for x in f2[r]]
+        rhs = c2[r, 0] - c1[r, 0]
+        g = 0
+        for x in coeffs:
+            g = gcd(g, abs(x))
+        if g == 0:
+            if rhs != 0:
+                return False
+            continue
+        if rhs % g != 0:
+            return False
+    return True
+
+
+# ---------------------------------------------------------------------------
+# test 2: exact integer solvability of the stacked system
+# ---------------------------------------------------------------------------
+
+def lattice_test(f1: IntMat, c1: IntMat, f2: IntMat, c2: IntMat):
+    """Solve ``[F1 | -F2] (I1; I2) = c2 - c1`` over the integers.
+
+    Returns the :class:`~repro.linalg.DiophantineSolution` or ``None``
+    when no integer solution exists (dependence disproved).
+    """
+    a = f1.hstack(-1 * f2)
+    b = c2 - c1
+    return solve_axb(a, b)
+
+
+# ---------------------------------------------------------------------------
+# test 3: Fourier–Motzkin on the solution lattice within loop bounds
+# ---------------------------------------------------------------------------
+
+Ineq = Tuple[Tuple[Fraction, ...], Fraction]  # coeffs . y <= rhs
+
+
+def _fourier_motzkin(ineqs: List[Ineq], nvars: int) -> bool:
+    """Rational feasibility of ``A y <= b`` by eliminating variables.
+
+    Returns True iff the polyhedron is non-empty (over Q).
+    """
+    system = [([Fraction(x) for x in coeffs], Fraction(rhs)) for coeffs, rhs in ineqs]
+    for var in range(nvars):
+        pos, neg, rest = [], [], []
+        for coeffs, rhs in system:
+            c = coeffs[var]
+            if c > 0:
+                pos.append((coeffs, rhs))
+            elif c < 0:
+                neg.append((coeffs, rhs))
+            else:
+                rest.append((coeffs, rhs))
+        new = rest
+        for pc, pr in pos:
+            for nc, nr in neg:
+                # combine to eliminate var: pc/|pc| + nc/|nc|
+                a = pc[var]
+                b = -nc[var]
+                coeffs = [x / a + y / b for x, y in zip(pc, nc)]
+                rhs = pr / a + nr / b
+                coeffs[var] = Fraction(0)
+                new.append((coeffs, rhs))
+        system = new
+        # prune trivially true rows to keep the blow-up in check
+        system = [
+            (c, r)
+            for c, r in system
+            if any(x != 0 for x in c) or r < 0
+        ]
+        if any(all(x == 0 for x in c) and r < 0 for c, r in system):
+            return False
+    # all variables eliminated: feasible iff no 0 <= negative row remains
+    return not any(r < 0 for _, r in system if True)
+
+
+def bounds_test(
+    sol,
+    depth1: int,
+    depth2: int,
+    bounds1: Sequence[Tuple[int, int]],
+    bounds2: Sequence[Tuple[int, int]],
+) -> bool:
+    """Check whether some lattice point of ``sol`` satisfies the loop
+    bounds (rational relaxation — conservative)."""
+    # point = particular + H y, with bounds lo <= point_i <= hi
+    part = sol.particular.column_tuple(0)
+    hom_cols = [h.column_tuple(0) for h in sol.homogeneous]
+    nvars = len(hom_cols)
+    all_bounds = list(bounds1) + list(bounds2)
+    assert len(part) == depth1 + depth2 == len(all_bounds)
+    if nvars == 0:
+        return all(lo <= p <= hi for p, (lo, hi) in zip(part, all_bounds))
+    ineqs: List[Ineq] = []
+    for i, (lo, hi) in enumerate(all_bounds):
+        row = [Fraction(h[i]) for h in hom_cols]
+        # part_i + row . y <= hi
+        ineqs.append((tuple(row), Fraction(hi - part[i])))
+        # -(part_i + row . y) <= -lo
+        ineqs.append((tuple(-x for x in row), Fraction(part[i] - lo)))
+    return _fourier_motzkin(ineqs, nvars)
+
+
+# ---------------------------------------------------------------------------
+# driver
+# ---------------------------------------------------------------------------
+
+def _dep_kind(kind1: AccessKind, kind2: AccessKind) -> str:
+    if kind1 is AccessKind.WRITE and kind2 is AccessKind.READ:
+        return "flow"
+    if kind1 is AccessKind.READ and kind2 is AccessKind.WRITE:
+        return "anti"
+    if kind1 is AccessKind.WRITE and kind2 is AccessKind.WRITE:
+        return "output"
+    return "input"
+
+
+def test_dependence(
+    s1: Statement,
+    a1: AffineAccess,
+    s2: Statement,
+    a2: AffineAccess,
+    params: Dict[str, int],
+    same_statement_distinct: bool = True,
+) -> Optional[str]:
+    """Full dependence test between two accesses to the same array.
+
+    Returns the dependence kind string when a dependence may exist, or
+    ``None`` when it is disproved.  ``params`` binds symbolic sizes for
+    the bounds test.
+    """
+    if a1.array != a2.array:
+        return None
+    if a1.kind is AccessKind.READ and a2.kind is AccessKind.READ:
+        return None  # input "dependences" don't constrain parallelism
+    if not gcd_test(a1.F, a1.c, a2.F, a2.c):
+        return None
+    sol = lattice_test(a1.F, a1.c, a2.F, a2.c)
+    if sol is None:
+        return None
+    b1 = [
+        (l.lower.evaluate(params), l.upper.evaluate(params)) for l in s1.loops
+    ]
+    b2 = [
+        (l.lower.evaluate(params), l.upper.evaluate(params)) for l in s2.loops
+    ]
+    if not bounds_test(sol, s1.depth, s2.depth, b1, b2):
+        return None
+    if s1 is s2 and a1 is a2 and same_statement_distinct:
+        # self-dependence of a single access needs I1 != I2; a lattice
+        # with only the trivial diagonal solution is not a dependence.
+        if not _has_distinct_solution(sol, s1.depth):
+            return None
+    return _dep_kind(a1.kind, a2.kind)
+
+
+def _has_distinct_solution(sol, depth: int) -> bool:
+    """True when the solution lattice contains a point with I1 != I2."""
+    part = sol.particular.column_tuple(0)
+    if part[:depth] != part[depth:]:
+        return True
+    for h in sol.homogeneous:
+        col = h.column_tuple(0)
+        if col[:depth] != col[depth:]:
+            return True
+    return False
+
+
+def find_dependences(nest: LoopNest, params: Dict[str, int]) -> List[Dependence]:
+    """All (conservatively) existing non-input dependences of the nest."""
+    out: List[Dependence] = []
+    pairs = nest.all_accesses()
+    for i, (s1, a1) in enumerate(pairs):
+        for s2, a2 in pairs[i:]:
+            kind = test_dependence(s1, a1, s2, a2, params)
+            if kind is not None:
+                out.append(
+                    Dependence(
+                        array=a1.array,
+                        source=s1.name,
+                        sink=s2.name,
+                        kind=kind,
+                        proven=False,
+                    )
+                )
+    return out
+
+
+def is_fully_parallel(nest: LoopNest, params: Dict[str, int]) -> bool:
+    """True when no flow/anti/output dependence exists: every statement
+    instance may execute at the same time step (all loops DOALL)."""
+    return not find_dependences(nest, params)

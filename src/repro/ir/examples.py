@@ -1,0 +1,196 @@
+"""The paper's example loop nests.
+
+**A note on reconstruction.**  The available text of the paper is a
+scanned research report whose OCR lost the numeric entries of the
+Example 1 access matrices.  The nest below is a *reconstruction* that
+satisfies every structural fact the prose states:
+
+* non-perfect nest: ``S1`` at depth 2 (loops ``i, j``), ``S2``/``S3`` at
+  depth 3 (extra loop ``k``); array ``a`` is 2-D, ``b`` and ``c`` 3-D;
+* 8 accesses ``F1..F8``; ``F8`` is rank-deficient (rank 1) and therefore
+  not represented in the access graph, which has exactly **7 edges**;
+* edge integer weights are access ranks: ``F5`` and ``F7`` (the square
+  depth-3 writes) have the maximum weight 3, all others weight 2;
+* a maximum branching has **5 edges** — ``a -> S1`` (``F2``),
+  ``S1 -> b`` (``F1``), ``S1 -> c`` (``F4``), ``b -> S2`` (``F5``),
+  ``c -> S3`` (``F7``) — so both weight-3 edges are zeroed out and
+  vertex ``a`` is the unique root;
+* the two residual communications are the reads of ``a`` through ``F3``
+  (in ``S1``) and ``F6`` (in ``S2``);
+* ``F6`` has the non-null kernel ``v = (0, 1, -1)^T`` with
+  ``M_S2 v = (1, 1)^T``: a partial broadcast *not* parallel to an axis,
+  fixed by the unimodular rotation ``V`` with ``V M_S2 v = (1, 0)^T``;
+* the rank-deficient ``F8`` also becomes a broadcast parallel to an
+  axis after the same rotation (the paper's "lucky coincidence");
+* the ``F3`` residual has data-flow matrix
+  ``T = V M_S1 (M_a F3)^{-1} V^{-1}`` equal to a product of exactly two
+  elementary matrices (one horizontal, one vertical communication);
+* the nest carries no dependence (all loops DOALL): the constant third
+  subscripts keep the ``S1``/``S2`` writes to ``b`` and the
+  ``S1``-reads / ``S3``-writes of ``c`` disjoint.
+
+Example 5 (Section 7.2) is reconstructed the same way:
+``S(I): a[t,i,j,k] = b[t,i,j]`` with the outer ``t`` loop sequential;
+``ker(theta) ∩ ker(F_b)`` is spanned by ``e4``, and with
+``M_b = [[0,1,0],[0,0,1]]``, ``M_S = M_a = M_b F_b`` the nest is
+communication-free, whereas a broadcast-preserving mapping pays a
+partial broadcast per (i, j) pair per time step.
+"""
+
+from __future__ import annotations
+
+from ..linalg import IntMat
+from .loopnest import LoopNest, NestBuilder
+
+# ---------------------------------------------------------------------------
+# Example 1 access matrices (reconstructed, see module docstring)
+# ---------------------------------------------------------------------------
+
+F1 = IntMat([[1, 0], [0, 1], [0, 0]])  # write b in S1 (3x2, rank 2)
+C1 = [0, 0, 0]
+F2 = IntMat([[1, 1], [0, 1]])  # read a in S1 (square unimodular)
+C2 = [0, 1]
+F3 = IntMat([[1, -1], [1, 0]])  # read a in S1 (square, det 1) — residual
+C3 = [0, 1]
+F4 = IntMat([[0, 1], [1, 0], [0, 0]])  # read c in S1 (3x2, rank 2)
+C4 = [0, 0, 0]
+F5 = IntMat.identity(3)  # write b in S2 (3x3, the paper's F5 = Id)
+C5 = [0, 0, 0]
+F6 = IntMat([[1, 1, 1], [0, 1, 1]])  # read a in S2 (flat, ker = <(0,1,-1)>) — residual
+C6 = [1, 0]
+F7 = IntMat([[1, 0, 0], [0, 1, 0], [0, 1, 1]])  # write c in S3 (square, det 1)
+C7 = [0, 0, 0]
+F8 = IntMat([[1, 1, 0], [1, 1, 0]])  # read a in S3 (rank 1: excluded from graph)
+C8 = [0, 1]
+
+#: The paper's suggested left inverses ("F-tilde" weight matrices).
+F1_TILDE = IntMat([[1, 0, 0], [0, 1, 0]])
+F4_TILDE = IntMat([[0, 1, 0], [1, 0, 0]])
+
+
+def motivating_example() -> LoopNest:
+    """The reconstructed Example 1 of Section 2.
+
+    ::
+
+        for i = 1 to N:
+          for j = 1 to M:
+            S1: b[i, j, 0]       = g1(a[i+j, j+1], a[i-j, i+1], c[j, i, 0])
+            for k = 1 to N+M:
+              S2: b[i, j, k]     = g2(a[i+j+k+1, j+k])
+              S3: c[i, j, j+k]   = g3(a[i+j, i+j+1])
+    """
+    b = NestBuilder("example1")
+    b.array("a", 2).array("b", 3).array("c", 3)
+    loops2 = [("i", 1, "N"), ("j", 1, "M")]
+    loops3 = loops2 + [("k", 1, Nplus("N", "M"))]
+    b.statement(
+        "S1",
+        loops2,
+        writes=[("b", F1.tolist(), C1, "F1")],
+        reads=[
+            ("a", F2.tolist(), C2, "F2"),
+            ("a", F3.tolist(), C3, "F3"),
+            ("c", F4.tolist(), C4, "F4"),
+        ],
+    )
+    b.statement(
+        "S2",
+        loops3,
+        writes=[("b", F5.tolist(), C5, "F5")],
+        reads=[("a", F6.tolist(), C6, "F6")],
+    )
+    b.statement(
+        "S3",
+        loops3,
+        writes=[("c", F7.tolist(), C7, "F7")],
+        reads=[("a", F8.tolist(), C8, "F8")],
+    )
+    return b.build()
+
+
+def Nplus(*names: str):
+    """Bound expression ``N + M + ...`` used for the inner loop."""
+    from .loopnest import Bound
+
+    total = Bound()
+    for n in names:
+        total = total + Bound.of(n)
+    return total
+
+
+# ---------------------------------------------------------------------------
+# Example 2/3/4 style micro-nests (Section 4 macro-communication shapes)
+# ---------------------------------------------------------------------------
+
+def broadcast_example() -> LoopNest:
+    """Example 2 shape: ``S(I): ... = a[F_a I + c_a]`` where ``F_a`` has a
+    non-trivial kernel — a broadcast candidate."""
+    b = NestBuilder("example2-broadcast")
+    b.array("a", 2).array("out", 3)
+    loops = [("i", 0, "N"), ("j", 0, "N"), ("k", 0, "N")]
+    b.statement(
+        "S",
+        loops,
+        writes=[("out", [[1, 0, 0], [0, 1, 0], [0, 0, 1]], None, "Fw")],
+        reads=[("a", [[1, 0, 0], [0, 1, 0]], None, "Fa")],
+    )
+    return b.build()
+
+
+def gather_example() -> LoopNest:
+    """Example 3 shape: ``S(I): a[F_a I + c_a] = ...`` (a write with
+    rank-deficient subscript would collapse values — treated as gather
+    candidates when the *allocation* kernels align)."""
+    b = NestBuilder("example3-gather")
+    b.array("a", 2).array("src", 3)
+    loops = [("i", 0, "N"), ("j", 0, "N"), ("k", 0, "N")]
+    b.statement(
+        "S",
+        loops,
+        writes=[("a", [[1, 0, 0], [0, 1, 0]], None, "Fa")],
+        reads=[("src", [[1, 0, 0], [0, 1, 0], [0, 0, 1]], None, "Fr")],
+    )
+    return b.build()
+
+
+def reduction_example() -> LoopNest:
+    """Example 4 shape: ``S(I): s = s + b[F_b I + c_b]`` — represented
+    with a 1-D accumulator array indexed by a rank-deficient access."""
+    b = NestBuilder("example4-reduction")
+    b.array("s", 1).array("b", 2)
+    loops = [("i", 0, "N"), ("j", 0, "N")]
+    b.statement(
+        "S",
+        loops,
+        writes=[("s", [[1, 0]], None, "Fs")],
+        reads=[("b", [[1, 0], [0, 1]], None, "Fb"), ("s", [[1, 0]], None, "FsR")],
+    )
+    return b.build()
+
+
+# ---------------------------------------------------------------------------
+# Example 5 (Section 7.2): comparison with Platonoff's strategy
+# ---------------------------------------------------------------------------
+
+FB_EX5 = IntMat([[1, 0, 0, 0], [0, 1, 0, 0], [0, 0, 1, 0]])
+FA_EX5 = IntMat.identity(4)
+
+
+def platonoff_example() -> LoopNest:
+    """Example 5::
+
+        for t = 1 to n:              (sequential)
+          for i, j, k = 1 to n:      (parallel)
+            S: a[t, i, j, k] = b[t, i, j]
+    """
+    b = NestBuilder("example5")
+    b.array("a", 4).array("b", 3)
+    loops = [("t", 1, "n"), ("i", 1, "n"), ("j", 1, "n"), ("k", 1, "n")]
+    b.statement(
+        "S",
+        loops,
+        writes=[("a", FA_EX5.tolist(), None, "Fa")],
+        reads=[("b", FB_EX5.tolist(), None, "Fb")],
+    )
+    return b.build()

@@ -1,0 +1,111 @@
+"""Exact integer / rational linear algebra substrate.
+
+Everything the alignment algorithms of the paper need, implemented from
+scratch over Python's arbitrary-precision integers and
+:class:`fractions.Fraction`:
+
+* :class:`IntMat` / :class:`FracMat` — exact matrix types;
+* Hermite forms (:func:`row_hnf`, the paper's :func:`right_hermite`,
+  :func:`right_hermite_narrow`, :func:`flat_hermite`);
+* :func:`smith_normal_form` and invariant factors;
+* one-sided pseudo-inverses, rational and integer;
+* kernel bases and the kernel set operations of Section 4;
+* linear Diophantine solvers and the ``X F = S`` equation of Lemma 2;
+* unimodular generation / completion / enumeration.
+"""
+
+from .diophantine import (
+    DiophantineSolution,
+    compatibility_condition,
+    has_integer_solution,
+    solve_axb,
+    solve_integer_xf_eq_s,
+    solve_xf_eq_s,
+    solve_xf_eq_s_family,
+)
+from .fracmat import FracMat
+from .hermite import (
+    flat_hermite,
+    is_unimodular,
+    rank,
+    right_hermite,
+    right_hermite_narrow,
+    row_hnf,
+    unimodular_inverse,
+)
+from .intmat import IntMat, matrix_product
+from .kernels import (
+    in_kernel,
+    integer_kernel_basis,
+    kernel_difference_directions,
+    kernel_dim,
+    kernel_intersection_basis,
+    left_kernel_basis,
+    restrict_to_left_kernel,
+)
+from .pseudoinverse import (
+    best_left_inverse,
+    integer_left_inverse,
+    integer_right_inverse,
+    left_inverse_family,
+    left_pseudoinverse,
+    pseudoinverse,
+    right_pseudoinverse,
+)
+from .smith import invariant_factors, smith_normal_form
+from .unimodular import (
+    elementary_row_matrix,
+    enumerate_unimodular_2x2,
+    full_rank,
+    random_unimodular,
+    swap_matrix,
+    unimodular_completion,
+)
+
+__all__ = [
+    "IntMat",
+    "FracMat",
+    "matrix_product",
+    # hermite
+    "row_hnf",
+    "right_hermite",
+    "right_hermite_narrow",
+    "flat_hermite",
+    "rank",
+    "is_unimodular",
+    "unimodular_inverse",
+    # smith
+    "smith_normal_form",
+    "invariant_factors",
+    # pseudoinverse
+    "pseudoinverse",
+    "right_pseudoinverse",
+    "left_pseudoinverse",
+    "integer_left_inverse",
+    "integer_right_inverse",
+    "left_inverse_family",
+    "best_left_inverse",
+    # kernels
+    "integer_kernel_basis",
+    "left_kernel_basis",
+    "kernel_dim",
+    "kernel_intersection_basis",
+    "kernel_difference_directions",
+    "in_kernel",
+    "restrict_to_left_kernel",
+    # diophantine
+    "DiophantineSolution",
+    "solve_axb",
+    "has_integer_solution",
+    "compatibility_condition",
+    "solve_xf_eq_s",
+    "solve_xf_eq_s_family",
+    "solve_integer_xf_eq_s",
+    # unimodular
+    "random_unimodular",
+    "unimodular_completion",
+    "enumerate_unimodular_2x2",
+    "elementary_row_matrix",
+    "swap_matrix",
+    "full_rank",
+]

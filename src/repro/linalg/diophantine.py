@@ -1,0 +1,141 @@
+"""Linear Diophantine systems and the matrix equations of the paper.
+
+Two solvers matter for alignment:
+
+* ``A x = b`` over the integers (dependence analysis, distribution
+  arithmetic) — solved through the Smith normal form, returning one
+  particular solution plus a lattice basis of the homogeneous solutions.
+* ``X F = S`` for a given flat/narrow ``F`` (Lemma 2): solvable iff the
+  compatibility condition ``S F^+ F = S`` holds, with solution family
+  ``X = S F^+ + Y (Id - F F^+)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from .fracmat import FracMat
+from .intmat import IntMat
+from .pseudoinverse import pseudoinverse
+from .smith import smith_normal_form
+
+
+@dataclass(frozen=True)
+class DiophantineSolution:
+    """Solutions of ``A x = b`` over Z: ``x = particular + Z-combinations
+    of homogeneous basis columns``."""
+
+    particular: IntMat  # n x 1
+    homogeneous: List[IntMat]  # list of n x 1 lattice basis columns
+
+    def sample(self, coeffs: List[int]) -> IntMat:
+        """The solution ``particular + sum coeffs[i] * homogeneous[i]``."""
+        x = self.particular
+        for c, h in zip(coeffs, self.homogeneous):
+            x = x + c * h
+        return x
+
+
+def solve_axb(a_mat: IntMat, b_col: IntMat) -> Optional[DiophantineSolution]:
+    """Solve ``A x = b`` over the integers.
+
+    Returns ``None`` when no integer solution exists; otherwise a
+    particular solution together with a basis of the integer kernel
+    lattice of ``A`` (so *all* integer solutions are representable).
+    """
+    m, n = a_mat.shape
+    if b_col.shape != (m, 1):
+        raise ValueError("right-hand side must be an m x 1 column")
+    u, d, v = smith_normal_form(a_mat)
+    c = u @ b_col
+    y = [0] * n
+    r = min(m, n)
+    for i in range(m):
+        di = d[i, i] if i < r else 0
+        if di == 0:
+            if c[i, 0] != 0:
+                return None
+        else:
+            if c[i, 0] % di != 0:
+                return None
+            y[i] = c[i, 0] // di
+    particular = v @ IntMat.col(y)
+    # homogeneous: columns of V corresponding to zero diagonal entries
+    hom: List[IntMat] = []
+    for j in range(n):
+        dj = d[j, j] if j < r else 0
+        if dj == 0:
+            hom.append(v.col_vector(j))
+    return DiophantineSolution(particular=particular, homogeneous=hom)
+
+
+def has_integer_solution(a_mat: IntMat, b_col: IntMat) -> bool:
+    """True iff ``A x = b`` admits an integer solution."""
+    return solve_axb(a_mat, b_col) is not None
+
+
+def compatibility_condition(s_mat: IntMat, f_mat: IntMat) -> bool:
+    """Lemma 2's condition for ``X F = S`` to be solvable: ``S F^+ F = S``.
+
+    ``F`` is ``a x d`` of full rank ``d`` (narrow or square); ``S`` is
+    ``m x d``.  When ``F`` is flat of full row rank the equation is
+    always solvable (Lemma 1 direction) and this returns True.
+    """
+    a, d = f_mat.shape
+    if a < d:
+        return True
+    fp = pseudoinverse(f_mat)
+    sf = FracMat.from_int(s_mat)
+    ff = FracMat.from_int(f_mat)
+    return (sf @ fp @ ff) == sf
+
+
+def solve_xf_eq_s(s_mat: IntMat, f_mat: IntMat) -> Optional[FracMat]:
+    """One rational solution ``X`` of ``X F = S`` or ``None``.
+
+    Lemma 2: when compatible, ``X = S F^+`` is a solution; Lemma 3 shows
+    it has full rank ``m`` when ``m <= d <= a`` and ``F`` has rank ``d``.
+    """
+    if not compatibility_condition(s_mat, f_mat):
+        return None
+    return FracMat.from_int(s_mat) @ pseudoinverse(f_mat)
+
+
+def solve_xf_eq_s_family(
+    s_mat: IntMat, f_mat: IntMat
+) -> Optional[Tuple[FracMat, FracMat]]:
+    """Solution family of ``X F = S``: returns ``(X0, P)`` with the
+    general solution ``X = X0 + Y P`` for arbitrary ``Y`` (``P = Id -
+    F F^+`` projects onto the left kernel of ``F``)."""
+    x0 = solve_xf_eq_s(s_mat, f_mat)
+    if x0 is None:
+        return None
+    a = f_mat.nrows
+    fp = pseudoinverse(f_mat)
+    proj = FracMat.identity(a) - (FracMat.from_int(f_mat) @ fp)
+    return x0, proj
+
+
+def solve_integer_xf_eq_s(s_mat: IntMat, f_mat: IntMat) -> Optional[IntMat]:
+    """One *integer* solution of ``X F = S`` (via Smith), or ``None``."""
+    # X F = S  <=>  F^T X^T = S^T
+    u, d, v = smith_normal_form(f_mat.T)
+    rhs = u @ s_mat.T
+    a, m_rows = rhs.shape
+    n = f_mat.nrows  # unknowns per column of X^T
+    r = min(d.nrows, d.ncols)
+    y = [[0] * m_rows for _ in range(d.ncols)]
+    for i in range(d.nrows):
+        di = d[i, i] if i < r else 0
+        for j in range(m_rows):
+            if di == 0:
+                if rhs[i, j] != 0:
+                    return None
+            else:
+                if rhs[i, j] % di != 0:
+                    return None
+                if i < d.ncols:
+                    y[i][j] = rhs[i, j] // di
+    xt = v @ IntMat(y)
+    return xt.T

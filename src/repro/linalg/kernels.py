@@ -1,0 +1,135 @@
+"""Kernel (nullspace) computations used by the macro-communication
+detectors of Section 4.
+
+The broadcast/scatter/gather/reduction conditions are all statements
+about kernels of integer matrices and their intersections, e.g. a
+broadcast exists iff ``ker(theta_S) ∩ ker(F_a) \\ ker(M_S)`` is
+non-empty.  We work with the *rational* kernels (the relevant dimension
+counts are over Q) but return primitive integer direction vectors, which
+are what the allocation matrices are applied to.
+"""
+
+from __future__ import annotations
+
+from math import gcd
+from typing import List, Optional, Sequence
+
+from .fracmat import FracMat
+from .intmat import IntMat
+
+
+def _primitive(col: Sequence[int]) -> List[int]:
+    """Divide an integer vector by the gcd of its entries and normalize
+    the sign of the first non-zero entry to be positive."""
+    g = 0
+    for x in col:
+        g = gcd(g, abs(x))
+    if g == 0:
+        return list(col)
+    vec = [x // g for x in col]
+    lead = next((x for x in vec if x != 0), 0)
+    if lead < 0:
+        vec = [-x for x in vec]
+    return vec
+
+
+def integer_kernel_basis(a_mat: IntMat) -> List[IntMat]:
+    """A basis of the rational right kernel of ``A`` given as primitive
+    integer column vectors (each an ``n x 1`` :class:`IntMat`)."""
+    basis = FracMat.from_int(a_mat).nullspace()
+    out: List[IntMat] = []
+    for b in basis:
+        ints, _ = b.scale_to_int()
+        out.append(IntMat.col(_primitive(ints.column_tuple(0))))
+    return out
+
+
+def left_kernel_basis(a_mat: IntMat) -> List[IntMat]:
+    """A basis of the rational left kernel of ``A`` (vectors ``w`` with
+    ``w A = 0``) as primitive integer ``1 x m`` row vectors."""
+    return [v.T for v in integer_kernel_basis(a_mat.T)]
+
+
+def kernel_dim(a_mat: IntMat) -> int:
+    """Dimension of the right kernel of ``A``."""
+    return a_mat.ncols - FracMat.from_int(a_mat).rank()
+
+
+def stacked(mats: Sequence[IntMat]) -> IntMat:
+    """Stack matrices with equal column counts vertically."""
+    if not mats:
+        raise ValueError("nothing to stack")
+    acc = mats[0]
+    for m in mats[1:]:
+        acc = acc.vstack(m)
+    return acc
+
+
+def kernel_intersection_basis(mats: Sequence[IntMat]) -> List[IntMat]:
+    """Basis of ``ker(A_1) ∩ ker(A_2) ∩ ...`` as primitive integer
+    columns.  All matrices must have the same number of columns."""
+    return integer_kernel_basis(stacked(mats))
+
+
+def kernel_difference_directions(
+    inside: Sequence[IntMat], outside: IntMat
+) -> List[IntMat]:
+    """Directions in ``∩ ker(inside)`` that are *not* in ``ker(outside)``.
+
+    Returns a (possibly empty) list of primitive integer columns
+    ``v_1..v_p`` such that ``span(v_i) + (∩ker(inside) ∩ ker(outside))``
+    equals ``∩ ker(inside)``; i.e. the ``v_i`` complete a basis of the
+    intersection-with-outside kernel into a basis of the inside kernel.
+    The paper uses these as the broadcast (scatter, ...) directions.
+    """
+    inter = kernel_intersection_basis(inside)
+    if not inter:
+        return []
+    # basis of the subspace of `inter` that also lies in ker(outside):
+    # solve outside @ (B y) = 0 where B has the inter vectors as columns.
+    b_cols = [v.column_tuple(0) for v in inter]
+    b_mat = IntMat(list(zip(*b_cols)))  # n x p, columns are basis vectors
+    ob = outside @ b_mat
+    small_kernel = integer_kernel_basis(ob)  # coefficients y
+    # choose directions completing small-image into the full basis:
+    # take inter vectors whose coefficient-space complement they span.
+    # Build the coefficient matrix of the sub-kernel and find a set of
+    # coordinate vectors independent from it.
+    p = len(inter)
+    q = len(small_kernel)
+    if q == p:
+        return []  # everything is hidden by `outside`
+    # Find p - q coordinate directions e_i such that {small_kernel, e_i}
+    # is full rank, greedily.
+    chosen: List[int] = []
+    current = [v.column_tuple(0) for v in small_kernel]
+    for i in range(p):
+        cand = tuple(1 if k == i else 0 for k in range(p))
+        test = FracMat([list(r) for r in current + [cand]] )
+        if test.rank() == len(current) + 1:
+            current.append(list(cand))
+            chosen.append(i)
+            if len(chosen) == p - q:
+                break
+    return [inter[i] for i in chosen]
+
+
+def in_kernel(a_mat: IntMat, v: IntMat) -> bool:
+    """True iff the column vector ``v`` satisfies ``A v = 0``."""
+    return (a_mat @ v).is_zero()
+
+
+def restrict_to_left_kernel(diff: IntMat, m: int) -> Optional[IntMat]:
+    """Find a full-rank ``m x n`` integer matrix ``M`` with ``M @ diff == 0``.
+
+    Used in step 1(c)ii of the heuristic: when two parallel paths have
+    weight difference ``diff = F_{p1} - F_{p2}`` of deficient rank, any
+    allocation matrix whose rows lie in the left kernel of ``diff``
+    makes both paths' communications local simultaneously.  Returns
+    ``None`` when the left kernel has dimension < ``m``.
+    """
+    basis = left_kernel_basis(diff)
+    if len(basis) < m:
+        return None
+    rows = [b[0] for b in basis[:m]]
+    return IntMat(rows)

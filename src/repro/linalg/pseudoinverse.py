@@ -1,0 +1,147 @@
+"""One-sided (pseudo-)inverses of full-rank rectangular matrices.
+
+Appendix A.2 of the paper defines, for a full-rank ``u x v`` integer
+matrix ``X``:
+
+* *flat* (``u < v``): the right inverse ``X^+ = X^T (X X^T)^{-1}`` with
+  ``X X^+ = Id_u``;
+* *narrow* (``u > v``): the left inverse ``X^+ = (X^T X)^{-1} X^T`` with
+  ``X^+ X = Id_v``.
+
+These Moore–Penrose one-sided inverses are rational in general.  The
+remark of Section 2.2.2 notes that *any* matrix ``G`` with
+``G F = Id`` may be used as an access-graph weight, and integer ones
+give integer allocation matrices; so we also search for integer
+one-sided inverses via the Smith form, plus the full solution family
+``G = G_0 + M K`` with ``K`` a basis of the left kernel.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from .fracmat import FracMat
+from .intmat import IntMat
+from .kernels import left_kernel_basis
+from .smith import smith_normal_form
+
+
+def right_pseudoinverse(x_mat: IntMat) -> FracMat:
+    """Moore–Penrose right inverse of a flat full-row-rank matrix."""
+    u, v = x_mat.shape
+    if u > v:
+        raise ValueError("right_pseudoinverse requires a flat matrix (u <= v)")
+    xf = FracMat.from_int(x_mat)
+    gram = xf @ xf.T
+    return xf.T @ gram.inverse()
+
+
+def left_pseudoinverse(x_mat: IntMat) -> FracMat:
+    """Moore–Penrose left inverse of a narrow full-column-rank matrix."""
+    u, v = x_mat.shape
+    if u < v:
+        raise ValueError("left_pseudoinverse requires a narrow matrix (u >= v)")
+    xf = FracMat.from_int(x_mat)
+    gram = xf.T @ xf
+    return gram.inverse() @ xf.T
+
+
+def pseudoinverse(x_mat: IntMat) -> FracMat:
+    """The appropriate (pseudo-)inverse of a full-rank matrix:
+    ordinary inverse if square, right inverse if flat, left if narrow."""
+    u, v = x_mat.shape
+    if u == v:
+        return FracMat.from_int(x_mat).inverse()
+    if u < v:
+        return right_pseudoinverse(x_mat)
+    return left_pseudoinverse(x_mat)
+
+
+def _solve_integer_ax_eq_b(a_mat: IntMat, b_mat: IntMat) -> Optional[IntMat]:
+    """One integer solution ``X`` of ``A X = B`` (or ``None``).
+
+    Via Smith form ``U A V = D``: the system becomes ``D (V^{-1} X) =
+    U B``; each row is solvable over Z iff ``d_i`` divides the whole
+    row, and zero rows of ``D`` require zero rows of ``U B``.
+    """
+    u, d, v = smith_normal_form(a_mat)
+    rhs = u @ b_mat
+    m, n = a_mat.shape
+    k = b_mat.ncols
+    y = [[0] * k for _ in range(n)]
+    r = min(m, n)
+    for i in range(m):
+        di = d[i, i] if i < r else 0
+        for j in range(k):
+            if di == 0:
+                if rhs[i, j] != 0:
+                    return None
+            else:
+                if rhs[i, j] % di != 0:
+                    return None
+                if i < n:
+                    y[i][j] = rhs[i, j] // di
+    return v @ IntMat(y) if n > 0 else None
+
+
+def integer_right_inverse(f_mat: IntMat) -> Optional[IntMat]:
+    """An integer ``R`` with ``F R = Id`` for flat full-row-rank ``F``,
+    or ``None`` when only rational right inverses exist (some invariant
+    factor exceeds 1)."""
+    u, v = f_mat.shape
+    if u > v:
+        raise ValueError("integer_right_inverse requires a flat matrix")
+    return _solve_integer_ax_eq_b(f_mat, IntMat.identity(u))
+
+
+def integer_left_inverse(f_mat: IntMat) -> Optional[IntMat]:
+    """An integer ``G`` with ``G F = Id`` for narrow full-column-rank
+    ``F``, or ``None`` when no integer left inverse exists."""
+    u, v = f_mat.shape
+    if u < v:
+        raise ValueError("integer_left_inverse requires a narrow matrix")
+    rt = _solve_integer_ax_eq_b(f_mat.T, IntMat.identity(v))
+    return rt.T if rt is not None else None
+
+
+def left_inverse_family(f_mat: IntMat) -> Optional[Tuple[IntMat, List[IntMat]]]:
+    """The family of integer left inverses of a narrow matrix ``F``.
+
+    Returns ``(G0, K)`` where ``G0 F = Id`` and every integer ``G`` with
+    ``G F = Id`` is ``G0 + M K_stack`` for integer ``M`` (``K`` lists the
+    rows of ``K_stack``, a basis of the left kernel of ``F``).  This is
+    the remark of Section 2.2.2: ``H = F^+ + M (Id - F F^+)`` ranges over
+    all valid weight matrices.  Returns ``None`` when no integer left
+    inverse exists.
+    """
+    g0 = integer_left_inverse(f_mat)
+    if g0 is None:
+        return None
+    return g0, left_kernel_basis(f_mat)
+
+
+def best_left_inverse(f_mat: IntMat) -> Optional[IntMat]:
+    """An integer left inverse with small entries.
+
+    The compiler prefers small allocation coefficients (they become
+    processor-index arithmetic).  We take ``G0`` and greedily reduce
+    each row by integer multiples of the left-kernel basis rows,
+    minimizing the sum of absolute values.
+    """
+    fam = left_inverse_family(f_mat)
+    if fam is None:
+        return None
+    g0, kernel = fam
+    rows = [list(r) for r in g0.rows()]
+    for kb in kernel:
+        kv = list(kb[0])
+        weight = sum(x * x for x in kv)
+        if weight == 0:
+            continue
+        for ri, row in enumerate(rows):
+            # best integer multiple to subtract (least-squares rounding)
+            dot = sum(a * b for a, b in zip(row, kv))
+            t = round(dot / weight)
+            if t:
+                rows[ri] = [a - t * b for a, b in zip(row, kv)]
+    return IntMat(rows)

@@ -1,0 +1,53 @@
+"""DMPC machine models.
+
+* :mod:`~repro.machine.topology` — 2-D mesh, XY routing, messages;
+* :mod:`~repro.machine.contention` — analytic link-contention timing;
+* :mod:`~repro.machine.eventsim` — event-driven store-and-forward
+  simulator (cross-validation);
+* :mod:`~repro.machine.patterns` — translation / affine / decomposed /
+  broadcast / reduction message generators;
+* :mod:`~repro.machine.machines` — :class:`ParagonModel` and
+  :class:`CM5Model` presets.
+"""
+
+from .contention import CostParams, PhaseReport, phase_time, phased_time, total_time
+from .eventsim import EventSimulator
+from .machines import CM5Model, ParagonModel, T3DModel
+from .topology3d import Mesh3D, Message3, affine_pattern_3d, phase_time_3d
+from .patterns import (
+    affine_pattern,
+    broadcast_tree_phases,
+    coalesce,
+    decomposed_phases,
+    message_counts,
+    partial_broadcast_row_phases,
+    reduction_tree_phases,
+    translation_pattern,
+)
+from .topology import Mesh2D, Message
+
+__all__ = [
+    "Mesh2D",
+    "Message",
+    "CostParams",
+    "PhaseReport",
+    "phase_time",
+    "phased_time",
+    "total_time",
+    "EventSimulator",
+    "ParagonModel",
+    "CM5Model",
+    "T3DModel",
+    "Mesh3D",
+    "Message3",
+    "affine_pattern_3d",
+    "phase_time_3d",
+    "translation_pattern",
+    "affine_pattern",
+    "coalesce",
+    "decomposed_phases",
+    "broadcast_tree_phases",
+    "partial_broadcast_row_phases",
+    "reduction_tree_phases",
+    "message_counts",
+]

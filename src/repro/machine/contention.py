@@ -1,0 +1,111 @@
+"""Analytic link-contention timing for a mesh (the Paragon-style
+model).
+
+All messages of one communication *phase* start simultaneously.  Each
+message loads every link of its XY route with its size; links serve
+traffic at one size-unit per time-unit, so a phase cannot finish before
+its most loaded link has drained.  Adding the per-message start-up cost
+(paid serially by each sender for each of its messages) and the pipeline
+latency of the longest route gives
+
+    ``T = alpha * max_msgs_per_sender + beta * max_link_load
+         + gamma * max_hops``
+
+This is the standard LogGP-flavoured bottleneck bound; it reproduces
+the phenomena the paper measures — serial conflicts on shared links —
+without modelling flit-level detail (the event-driven simulator in
+:mod:`repro.machine.eventsim` cross-checks it).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Sequence
+
+from .topology import Link, Mesh2D, Message
+
+
+@dataclass(frozen=True)
+class CostParams:
+    """Machine constants (arbitrary but consistent time units)."""
+
+    alpha: float = 20.0  # per-message start-up at the sender
+    beta: float = 1.0  # per size-unit per bottleneck link
+    gamma: float = 0.5  # per hop pipeline latency
+
+    def scaled(self, **kw) -> "CostParams":
+        vals = {"alpha": self.alpha, "beta": self.beta, "gamma": self.gamma}
+        vals.update(kw)
+        return CostParams(**vals)
+
+
+@dataclass
+class PhaseReport:
+    """Timing breakdown of one communication phase."""
+
+    time: float
+    max_link_load: int
+    max_hops: int
+    max_msgs_per_sender: int
+    total_messages: int
+    total_volume: int
+    local_messages: int
+
+    def describe(self) -> str:
+        return (
+            f"time={self.time:.1f} (link_load={self.max_link_load}, "
+            f"hops={self.max_hops}, sender_fanout={self.max_msgs_per_sender}, "
+            f"msgs={self.total_messages}, volume={self.total_volume})"
+        )
+
+
+def phase_time(
+    mesh: Mesh2D, messages: Sequence[Message], params: CostParams
+) -> PhaseReport:
+    """Time for one phase of simultaneous messages on the mesh."""
+    link_load: Dict[Link, int] = {}
+    sender_msgs: Dict = {}
+    max_hops = 0
+    total_volume = 0
+    local = 0
+    remote = 0
+    for m in messages:
+        if m.is_local:
+            local += 1
+            continue
+        remote += 1
+        total_volume += m.size
+        sender_msgs[m.src] = sender_msgs.get(m.src, 0) + 1
+        max_hops = max(max_hops, mesh.hops(m.src, m.dst))
+        for link in mesh.xy_route(m.src, m.dst):
+            link_load[link] = link_load.get(link, 0) + m.size
+    max_load = max(link_load.values(), default=0)
+    max_fanout = max(sender_msgs.values(), default=0)
+    time = (
+        params.alpha * max_fanout
+        + params.beta * max_load
+        + params.gamma * max_hops
+    )
+    return PhaseReport(
+        time=time,
+        max_link_load=max_load,
+        max_hops=max_hops,
+        max_msgs_per_sender=max_fanout,
+        total_messages=remote,
+        total_volume=total_volume,
+        local_messages=local,
+    )
+
+
+def phased_time(
+    mesh: Mesh2D,
+    phases: Iterable[Sequence[Message]],
+    params: CostParams,
+) -> List[PhaseReport]:
+    """Time a sequence of phases executed one after the other (the
+    decomposed-communication schedule: L then U, not in parallel)."""
+    return [phase_time(mesh, msgs, params) for msgs in phases]
+
+
+def total_time(reports: Iterable[PhaseReport]) -> float:
+    return sum(r.time for r in reports)

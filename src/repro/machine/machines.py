@@ -1,0 +1,184 @@
+"""Machine model presets: Paragon-style mesh and CM-5-style fat tree.
+
+**Paragon model** — a 2-D mesh with per-link serialization; costs come
+from the analytic contention model (cross-checked by the event-driven
+simulator).  Used for Table 2, Figure 7 and Figure 8.
+
+**CM-5 model** — what Table 1 needs is the *structure* of the CM-5:
+
+* a control network with hardware combine/broadcast: collectives cost a
+  few hardware cycles per tree level plus a tiny per-element cost;
+* a fat-tree data network where a translation is a contention-free
+  permutation paid at software message overhead + bandwidth;
+* general affine communication additionally pays per-element software
+  address generation and fat-tree contention.
+
+The constants below encode plausible magnitude *relationships* (a
+hardware tree cycle is much cheaper than a software message dispatch;
+per-element software handling costs a few bandwidth units); Table 1's
+qualitative ordering — reduction ≈ broadcast ≪ translation ≪ general —
+follows from the structure, not from fitting the paper's numbers.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from .contention import CostParams, PhaseReport, phase_time, phased_time, total_time
+from .eventsim import EventSimulator
+from .topology import Mesh2D, Message
+
+
+@dataclass
+class ParagonModel:
+    """2-D mesh machine with link contention (Paragon-like)."""
+
+    p: int
+    q: int
+    params: CostParams = CostParams()
+
+    def __post_init__(self):
+        self.mesh = Mesh2D(self.p, self.q)
+
+    def time_phase(self, messages: Sequence[Message]) -> PhaseReport:
+        return phase_time(self.mesh, messages, self.params)
+
+    def time_phases(self, phases: Sequence[Sequence[Message]]) -> float:
+        return total_time(phased_time(self.mesh, phases, self.params))
+
+    def time_event_driven(self, phases: Sequence[Sequence[Message]]) -> float:
+        sim = EventSimulator(self.mesh, self.params)
+        return sim.run_phases(phases)
+
+    # -- compiler-level communication costing ---------------------------
+    #
+    # A *general* affine communication has no compile-time regular
+    # structure: the runtime sends one message per element (this is the
+    # situation the paper describes — "letting all processors send
+    # their messages simultaneously" — and the reason decomposition
+    # helps).  An *elementary* (axis-parallel) phase has regular
+    # strides, so all elements for one destination coalesce into a
+    # single vectorized message.
+
+    def time_general(self, dist, t_mat, size: int = 1) -> float:
+        """Direct execution of data-flow matrix ``t_mat``: element-wise
+        messages (not vectorizable by the compiler)."""
+        from .patterns import affine_pattern
+
+        msgs = affine_pattern(dist, t_mat, size=size, merge=False)
+        return self.time_phase(msgs).time
+
+    def time_decomposed(self, dist, factors, size: int = 1) -> float:
+        """Execution of ``t = f1 @ f2 @ ...`` as coalesced axis-parallel
+        phases."""
+        from .patterns import decomposed_phases
+
+        return self.time_phases(decomposed_phases(dist, factors, size=size))
+
+
+@dataclass
+class T3DModel:
+    """3-D mesh machine (Cray T3D-like) — the paper's m = 3 case.
+
+    Same cost structure as the Paragon model, one more dimension; used
+    by the 3-D decomposition benchmark (elementary matrices in
+    dimension 3 move data parallel to a single axis of the cube).
+    """
+
+    p: int
+    q: int
+    r: int
+    params: CostParams = CostParams()
+
+    def __post_init__(self):
+        from .topology3d import Mesh3D
+
+        self.mesh = Mesh3D(self.p, self.q, self.r)
+
+    def time_phase(self, messages) -> float:
+        from .topology3d import phase_time_3d
+
+        return phase_time_3d(self.mesh, messages, self.params)
+
+    def time_phases(self, phases) -> float:
+        return sum(self.time_phase(msgs) for msgs in phases)
+
+    def time_general(self, dists, t_mat, size: int = 1) -> float:
+        from .topology3d import affine_pattern_3d
+
+        return self.time_phase(
+            affine_pattern_3d(dists, t_mat, size=size, merge=False)
+        )
+
+    def time_decomposed(self, dists, factors, size: int = 1) -> float:
+        from .topology3d import affine_pattern_3d
+
+        return self.time_phases(
+            affine_pattern_3d(dists, f, size=size)
+            for f in reversed(list(factors))
+        )
+
+
+@dataclass
+class CM5Model:
+    """Fat-tree machine with hardware collectives (CM-5-like).
+
+    Parameters (time units are arbitrary but shared):
+
+    * ``hw_cycle`` — control-network cost per tree level;
+    * ``ctl_per_elem`` — per-element cost on the control network
+      (combine/broadcast bandwidth);
+    * ``sw_overhead`` — software cost of posting one message on the
+      data network;
+    * ``data_per_elem`` — data-network bandwidth cost per element;
+    * ``addr_per_elem`` — per-element software address generation for
+      irregular (general affine) patterns;
+    * ``contention`` — fat-tree slowdown factor for non-permutation /
+      irregular traffic.
+    """
+
+    nodes: int = 32
+    hw_cycle: float = 1.0
+    ctl_per_elem: float = 0.25
+    sw_overhead: float = 25.0
+    data_per_elem: float = 1.0
+    addr_per_elem: float = 3.0
+    contention: float = 2.0
+
+    @property
+    def tree_depth(self) -> int:
+        return max(1, math.ceil(math.log2(self.nodes)))
+
+    def reduction_time(self, size: int = 100) -> float:
+        """Hardware combine on the control network."""
+        return self.hw_cycle * self.tree_depth + self.ctl_per_elem * size
+
+    def broadcast_time(self, size: int = 100) -> float:
+        """Hardware broadcast: same tree, slightly more per-element
+        traffic (every node receives the payload)."""
+        return self.hw_cycle * self.tree_depth + 1.2 * self.ctl_per_elem * size
+
+    def translation_time(self, size: int = 100) -> float:
+        """Uniform shift: a contention-free permutation on the data
+        network, one software message per node."""
+        return self.sw_overhead + self.data_per_elem * size
+
+    def general_time(self, size: int = 100) -> float:
+        """General affine pattern: software address generation per
+        element plus contended fat-tree traffic."""
+        return self.sw_overhead + size * (
+            self.data_per_elem * self.contention + self.addr_per_elem
+        )
+
+    def table1_ratios(self, size: int = 100) -> List[float]:
+        """Execution-time ratios normalised to the reduction (the
+        paper's Table 1 row)."""
+        base = self.reduction_time(size)
+        return [
+            1.0,
+            self.broadcast_time(size) / base,
+            self.translation_time(size) / base,
+            self.general_time(size) / base,
+        ]

@@ -1,0 +1,165 @@
+"""Communication-pattern generators.
+
+Build concrete :class:`~repro.machine.topology.Message` sets for the
+patterns the paper measures: translations, general affine
+redistributions, elementary ``L``/``U`` phases, and software
+broadcast / reduction trees.  A pattern is produced against a 2-D
+virtual grid folded onto the physical mesh by a
+:class:`~repro.distribution.Distribution2D`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..distribution import Distribution2D
+from ..linalg import IntMat
+from .topology import Mesh2D, Message
+
+Virtual = Tuple[int, int]
+
+
+def _virtuals(dist: Distribution2D):
+    n1, n2 = dist.virtual_shape
+    for i in range(n1):
+        for j in range(n2):
+            yield (i, j)
+
+
+def coalesce(messages: Sequence[Message]) -> List[Message]:
+    """Merge all element messages sharing (src, dst) into one message
+    whose size is the element total — what a real message-passing
+    runtime does before touching the network.  Local pairs are kept
+    (size-aggregated) so statistics remain exact."""
+    sizes: Dict[Tuple, int] = {}
+    for m in messages:
+        key = (m.src, m.dst)
+        sizes[key] = sizes.get(key, 0) + m.size
+    return [Message(src=s, dst=d, size=sz) for (s, d), sz in sorted(sizes.items())]
+
+
+def translation_pattern(
+    dist: Distribution2D,
+    offset: Virtual,
+    size: int = 1,
+    wrap: bool = True,
+    merge: bool = True,
+) -> List[Message]:
+    """Every virtual processor sends to ``v + offset``."""
+    n1, n2 = dist.virtual_shape
+    out: List[Message] = []
+    for i, j in _virtuals(dist):
+        di, dj = i + offset[0], j + offset[1]
+        if wrap:
+            di, dj = di % n1, dj % n2
+        elif not (0 <= di < n1 and 0 <= dj < n2):
+            continue
+        out.append(Message(src=dist.phys((i, j)), dst=dist.phys((di, dj)), size=size))
+    return coalesce(out) if merge else out
+
+
+def affine_pattern(
+    dist: Distribution2D,
+    t_mat: IntMat,
+    offset: Virtual = (0, 0),
+    size: int = 1,
+    wrap: bool = True,
+    merge: bool = True,
+) -> List[Message]:
+    """Every virtual processor ``v`` sends to ``T v + offset`` (taken
+    modulo the virtual grid when ``wrap``).  This is the pattern of a
+    residual general communication with data-flow matrix ``T``."""
+    if t_mat.shape != (2, 2):
+        raise ValueError("affine_pattern expects a 2x2 data-flow matrix")
+    n1, n2 = dist.virtual_shape
+    out: List[Message] = []
+    for i, j in _virtuals(dist):
+        di = t_mat[0, 0] * i + t_mat[0, 1] * j + offset[0]
+        dj = t_mat[1, 0] * i + t_mat[1, 1] * j + offset[1]
+        if wrap:
+            di, dj = di % n1, dj % n2
+        elif not (0 <= di < n1 and 0 <= dj < n2):
+            continue
+        out.append(Message(src=dist.phys((i, j)), dst=dist.phys((di, dj)), size=size))
+    return coalesce(out) if merge else out
+
+
+def decomposed_phases(
+    dist: Distribution2D,
+    factors: Sequence[IntMat],
+    size: int = 1,
+    wrap: bool = True,
+) -> List[List[Message]]:
+    """Phases implementing ``T = F_1 @ F_2 @ ... @ F_k``: data moves
+    through the factors right-to-left (``p_1 = F_k p_0``, then
+    ``p_2 = F_{k-1} p_1``...), each phase an affine pattern of its own
+    factor — horizontal/vertical when the factors are elementary."""
+    return [
+        affine_pattern(dist, f, size=size, wrap=wrap)
+        for f in reversed(list(factors))
+    ]
+
+
+def broadcast_tree_phases(
+    mesh: Mesh2D, root, size: int = 1
+) -> List[List[Message]]:
+    """Software binomial broadcast over all mesh nodes: log2(P) phases
+    of doubling coverage (what a Paragon pays without hardware
+    support)."""
+    nodes = list(mesh.nodes())
+    order = sorted(nodes, key=lambda n: (n != root, n))
+    have = [order[0]]
+    rest = order[1:]
+    phases: List[List[Message]] = []
+    while rest:
+        phase: List[Message] = []
+        senders = list(have)
+        for s in senders:
+            if not rest:
+                break
+            nxt = rest.pop(0)
+            phase.append(Message(src=s, dst=nxt, size=size))
+            have.append(nxt)
+        phases.append(phase)
+    return phases
+
+
+def partial_broadcast_row_phases(
+    mesh: Mesh2D, axis: int, size: int = 1
+) -> List[List[Message]]:
+    """Axis-parallel partial broadcast: each node forwards along one
+    mesh axis (a pipeline of neighbour hops — the cheap pattern the
+    paper's rotation enables).  One phase per hop along the axis."""
+    length = mesh.p if axis == 0 else mesh.q
+    phases: List[List[Message]] = []
+    for step in range(length - 1):
+        phase: List[Message] = []
+        for n in mesh.nodes():
+            coord = n[axis]
+            if coord == step:
+                dst = (n[0] + 1, n[1]) if axis == 0 else (n[0], n[1] + 1)
+                if mesh.contains(dst):
+                    phase.append(Message(src=n, dst=dst, size=size))
+        phases.append(phase)
+    return phases
+
+
+def reduction_tree_phases(
+    mesh: Mesh2D, root, size: int = 1
+) -> List[List[Message]]:
+    """Software binomial reduction: the reverse of the broadcast tree."""
+    return [
+        [Message(src=m.dst, dst=m.src, size=m.size) for m in phase]
+        for phase in reversed(broadcast_tree_phases(mesh, root, size))
+    ]
+
+
+def message_counts(messages: Sequence[Message]) -> Dict[str, int]:
+    """Summary statistics used by tests and reports."""
+    remote = [m for m in messages if not m.is_local]
+    return {
+        "total": len(messages),
+        "remote": len(remote),
+        "local": len(messages) - len(remote),
+        "volume": sum(m.size for m in remote),
+    }

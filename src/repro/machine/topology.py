@@ -1,0 +1,88 @@
+"""Mesh topology and XY dimension-order routing.
+
+The Intel Paragon (Table 2, Figure 8) is a 2-D mesh with wormhole
+routing; what matters for the paper's experiments is that simultaneous
+messages sharing a link serialize.  We model the mesh with explicit
+directed links — including *injection* and *ejection* links between
+each node and the network, so several messages leaving (or entering)
+one node also serialize, which is exactly the effect that makes a
+non-decomposed affine communication slow.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Tuple
+
+Node = Tuple[int, int]
+#: A directed link: ("inj", node), ("eje", node) or ("net", a, b).
+Link = Tuple
+
+
+@dataclass(frozen=True)
+class Mesh2D:
+    """A ``P x Q`` mesh of physical processors."""
+
+    p: int
+    q: int
+
+    def __post_init__(self):
+        if self.p <= 0 or self.q <= 0:
+            raise ValueError("mesh dimensions must be positive")
+
+    @property
+    def size(self) -> int:
+        return self.p * self.q
+
+    def nodes(self) -> Iterator[Node]:
+        for i in range(self.p):
+            for j in range(self.q):
+                yield (i, j)
+
+    def contains(self, n: Node) -> bool:
+        return 0 <= n[0] < self.p and 0 <= n[1] < self.q
+
+    def xy_route(self, src: Node, dst: Node) -> List[Link]:
+        """Links of the XY (row-first) route from ``src`` to ``dst``,
+        including the injection and ejection links.
+
+        A local message (``src == dst``) uses no links at all — it is a
+        memory copy.
+        """
+        if not (self.contains(src) and self.contains(dst)):
+            raise ValueError("endpoint outside the mesh")
+        if src == dst:
+            return []
+        links: List[Link] = [("inj", src)]
+        cur = src
+        # move along X (columns of the grid: second coordinate) first —
+        # "XY" order; the choice is conventional and symmetric.
+        while cur[1] != dst[1]:
+            step = 1 if dst[1] > cur[1] else -1
+            nxt = (cur[0], cur[1] + step)
+            links.append(("net", cur, nxt))
+            cur = nxt
+        while cur[0] != dst[0]:
+            step = 1 if dst[0] > cur[0] else -1
+            nxt = (cur[0] + step, cur[1])
+            links.append(("net", cur, nxt))
+            cur = nxt
+        links.append(("eje", dst))
+        return links
+
+    def hops(self, src: Node, dst: Node) -> int:
+        """Manhattan distance."""
+        return abs(src[0] - dst[0]) + abs(src[1] - dst[1])
+
+
+@dataclass(frozen=True)
+class Message:
+    """One point-to-point message between physical processors."""
+
+    src: Node
+    dst: Node
+    size: int = 1
+
+    @property
+    def is_local(self) -> bool:
+        return self.src == self.dst

@@ -1,0 +1,34 @@
+"""Macro-communication detection and axis alignment (Section 4).
+
+Detectors for broadcast / scatter / gather / reduction patterns, the
+total / partial / hidden classification, the axis-parallelism test on
+the direction matrix ``D``, the Hermite-based unimodular rotation that
+makes a partial pattern axis-parallel, and the message-vectorization
+condition of Section 4.5.
+"""
+
+from .detect import (
+    Extent,
+    MacroComm,
+    MacroKind,
+    axis_alignment_rotation,
+    axis_parallel,
+    can_vectorize,
+    detect_broadcast,
+    detect_gather,
+    detect_reduction,
+    detect_scatter,
+)
+
+__all__ = [
+    "MacroComm",
+    "MacroKind",
+    "Extent",
+    "detect_broadcast",
+    "detect_scatter",
+    "detect_gather",
+    "detect_reduction",
+    "axis_parallel",
+    "axis_alignment_rotation",
+    "can_vectorize",
+]

@@ -1,0 +1,59 @@
+"""ASCII reporting helpers shared by examples and the benchmark
+harness: mapping summaries, communication tables and simple bar/series
+rendering (the repository has no plotting dependency, so "figures" are
+printed as labelled series)."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Sequence
+
+
+def format_table(
+    headers: Sequence[str], rows: Iterable[Sequence], title: str = ""
+) -> str:
+    """Render an aligned ASCII table."""
+    str_rows = [[_fmt(c) for c in row] for row in rows]
+    widths = [
+        max(len(str(headers[i])), max((len(r[i]) for r in str_rows), default=0))
+        for i in range(len(headers))
+    ]
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(str(h).ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for r in str_rows:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(r, widths)))
+    return "\n".join(lines)
+
+
+def format_series(
+    label: str, xs: Sequence, ys: Sequence[float], width: int = 40
+) -> str:
+    """Render one figure series as a labelled ASCII bar chart."""
+    if not ys:
+        return f"{label}: (empty)"
+    top = max(max(ys), 1e-12)
+    lines = [label]
+    for x, y in zip(xs, ys):
+        bar = "#" * max(1, round(width * y / top)) if y > 0 else ""
+        lines.append(f"  {str(x):>6s} | {bar} {y:.2f}")
+    return "\n".join(lines)
+
+
+def format_mapping_summary(result) -> str:
+    """One-paragraph summary of a :class:`MappingResult`."""
+    counts = result.counts()
+    parts = [f"{counts.get('local', 0)} local"]
+    for key in ("translation", "macro", "decomposed", "general"):
+        if counts.get(key):
+            parts.append(f"{counts[key]} {key}")
+    rot = len(result.rotations)
+    rot_txt = f"; {rot} component rotation(s)" if rot else ""
+    return "mapping: " + ", ".join(parts) + rot_txt
+
+
+def _fmt(x) -> str:
+    if isinstance(x, float):
+        return f"{x:.2f}"
+    return str(x)

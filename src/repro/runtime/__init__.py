@@ -1,0 +1,21 @@
+"""Runtime executor: map, fold, extract messages, vectorize, cost.
+
+This package substitutes for running a compiled HPF program on real
+hardware — it reproduces exactly which messages exist between physical
+processors, how they group into macro-communications and how message
+vectorization coalesces them, then prices the result on a machine
+model.
+"""
+
+from .executor import AccessCommStats, CommReport, count_nonlocal_virtual, execute
+from .mapping import CommEvent, Folding, MappedProgram
+
+__all__ = [
+    "Folding",
+    "MappedProgram",
+    "CommEvent",
+    "CommReport",
+    "AccessCommStats",
+    "execute",
+    "count_nonlocal_virtual",
+]

@@ -1,0 +1,182 @@
+"""Communication extraction, vectorization and costing.
+
+Turns the element-level :class:`~repro.runtime.mapping.CommEvent`
+stream of a mapped program into per-time-step message sets, applies
+message vectorization (Section 4.5) where the mapping allows it,
+recognizes macro-communications (costed with the machine's collective
+support when available) and prices everything on a machine model.
+
+The report distinguishes, per access:
+
+* ``local`` — sender == receiver on the *virtual* grid (the zeroed-out
+  communications of step 1; they cost nothing);
+* ``translation`` / ``macro`` / ``decomposed`` / ``general`` — as
+  classified by step 2 of the heuristic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..machine import CM5Model, Message, ParagonModel, message_counts
+from .mapping import CommEvent, MappedProgram
+
+
+@dataclass
+class AccessCommStats:
+    """Per-access communication statistics for one execution."""
+
+    label: str
+    classification: str
+    events: int = 0
+    virtual_local: int = 0
+    phys_local: int = 0
+    messages_before_vectorization: int = 0
+    messages_after_vectorization: int = 0
+    volume: int = 0
+    macro_ops: int = 0  # number of collective operations issued
+    time: float = 0.0
+
+
+@dataclass
+class CommReport:
+    """Execution-wide communication report."""
+
+    per_access: Dict[str, AccessCommStats]
+    total_time: float
+    total_messages: int
+    total_volume: int
+
+    def stats(self, label: str) -> AccessCommStats:
+        return self.per_access[label]
+
+    def describe(self) -> str:
+        lines = [
+            f"total: time={self.total_time:.1f} msgs={self.total_messages} "
+            f"volume={self.total_volume}"
+        ]
+        for label in sorted(self.per_access):
+            s = self.per_access[label]
+            lines.append(
+                f"  {label:6s} [{s.classification:11s}] events={s.events} "
+                f"virt-local={s.virtual_local} msgs={s.messages_after_vectorization} "
+                f"macro_ops={s.macro_ops} time={s.time:.1f}"
+            )
+        return "\n".join(lines)
+
+
+def _classification_of(program: MappedProgram, label: str) -> str:
+    al = program.mapping.alignment
+    if label in al.local_labels:
+        return "local"
+    try:
+        return program.mapping.residual_by_label(label).classification
+    except KeyError:
+        return "general"
+
+
+def _vectorizable(program: MappedProgram, label: str) -> bool:
+    try:
+        return program.mapping.residual_by_label(label).vectorizable
+    except KeyError:
+        return False
+
+
+def execute(
+    program: MappedProgram,
+    machine: ParagonModel,
+    collectives: Optional[CM5Model] = None,
+    payload: int = 1,
+) -> CommReport:
+    """Execute the mapped program's communications on a machine model.
+
+    ``machine`` prices point-to-point phases (per time step, one phase
+    per access); ``collectives`` — when given — prices the accesses the
+    heuristic classified as macro-communications with hardware
+    collective costs instead (the CM-5 situation of Table 1).
+    """
+    events = program.comm_events()
+    per_access: Dict[str, AccessCommStats] = {}
+    # bucket: (label, time) -> events
+    buckets: Dict[Tuple[str, Tuple[int, ...]], List[CommEvent]] = {}
+    for ev in events:
+        label = ev.access_label
+        st = per_access.get(label)
+        if st is None:
+            st = AccessCommStats(
+                label=label,
+                classification=_classification_of(program, label),
+            )
+            per_access[label] = st
+        st.events += 1
+        if ev.sender_virtual == ev.receiver_virtual:
+            st.virtual_local += 1
+            continue
+        if ev.is_local_phys:
+            st.phys_local += 1
+            continue
+        buckets.setdefault((label, ev.time), []).append(ev)
+
+    total_time = 0.0
+    # vectorization merges the buckets of all time steps of one access
+    merged: Dict[str, List[List[CommEvent]]] = {}
+    for (label, _time), evs in sorted(buckets.items()):
+        if _vectorizable(program, label):
+            merged.setdefault(label, [[]])[0].extend(evs)
+        else:
+            merged.setdefault(label, []).append(evs)
+
+    for label, phases in merged.items():
+        st = per_access[label]
+        for evs in phases:
+            if not evs:
+                continue
+            # coalesce per (sender, receiver) pair into one message
+            pair_sizes: Dict[Tuple, int] = {}
+            for ev in evs:
+                key = (ev.sender, ev.receiver)
+                pair_sizes[key] = pair_sizes.get(key, 0) + payload
+            msgs = [
+                Message(src=s, dst=d, size=sz)
+                for (s, d), sz in pair_sizes.items()
+            ]
+            st.messages_before_vectorization += len(evs)
+            st.messages_after_vectorization += len(msgs)
+            st.volume += sum(m.size for m in msgs)
+            if collectives is not None and st.classification == "macro":
+                opt = program.mapping.residual_by_label(label)
+                kind = opt.macro.kind.value if opt.macro else "broadcast"
+                size = max(pair_sizes.values())
+                if kind == "reduction":
+                    t = collectives.reduction_time(size)
+                else:
+                    t = collectives.broadcast_time(size)
+                st.macro_ops += 1
+                st.time += t
+                total_time += t
+            else:
+                rep = machine.time_phase(msgs)
+                st.time += rep.time
+                total_time += rep.time
+
+    total_messages = sum(
+        s.messages_after_vectorization for s in per_access.values()
+    )
+    total_volume = sum(s.volume for s in per_access.values())
+    return CommReport(
+        per_access=per_access,
+        total_time=total_time,
+        total_messages=total_messages,
+        total_volume=total_volume,
+    )
+
+
+def count_nonlocal_virtual(program: MappedProgram) -> Dict[str, int]:
+    """Per-access count of element communications that are non-local on
+    the *virtual* grid (mapping quality independent of folding)."""
+    out: Dict[str, int] = {}
+    for ev in program.comm_events():
+        if ev.sender_virtual != ev.receiver_virtual:
+            out[ev.access_label] = out.get(ev.access_label, 0) + 1
+    return out

@@ -1,0 +1,133 @@
+"""Mapped programs: loop nest + allocations + folding + machine.
+
+The executor enumerates the (bounded) iteration space of a scheduled,
+aligned loop nest and derives the concrete message sets between
+*physical* processors, which a machine model then prices.  This is the
+substitution for running the compiled HPF program on real hardware: the
+paper's claims are about which messages exist, how they group into
+macro-communications and how they collide — all of which the executor
+reproduces exactly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..alignment import MappingResult
+from ..distribution import Distribution1D, make_1d
+from ..ir import AccessKind
+from ..linalg import IntMat
+from ..machine import Mesh2D, Message
+
+Virtual = Tuple[int, ...]
+Phys = Tuple[int, int]
+
+
+@dataclass
+class Folding:
+    """Folds the (unbounded) m-D virtual grid onto a physical mesh.
+
+    The virtual coordinates produced by allocation matrices can be
+    negative and unbounded; we first shift-and-clamp them into a
+    ``extent x extent`` window per dimension (modulo), then apply one
+    1-D distribution per dimension.  Only ``m = 2`` targets a mesh; the
+    first two virtual dimensions are folded and any extra dimensions
+    are collapsed by summation (the paper never uses m > 2 in its
+    experiments).
+    """
+
+    mesh: Mesh2D
+    extent: int
+    row_scheme: str = "cyclic"
+    col_scheme: str = "cyclic"
+    row_kw: Dict = field(default_factory=dict)
+    col_kw: Dict = field(default_factory=dict)
+
+    def __post_init__(self):
+        self._rows: Distribution1D = make_1d(
+            self.row_scheme, self.extent, self.mesh.p, **self.row_kw
+        )
+        self._cols: Distribution1D = make_1d(
+            self.col_scheme, self.extent, self.mesh.q, **self.col_kw
+        )
+
+    def fold(self, virtual: Sequence[int]) -> Phys:
+        v0 = virtual[0] if len(virtual) >= 1 else 0
+        v1 = virtual[1] if len(virtual) >= 2 else 0
+        for extra in virtual[2:]:
+            v1 += extra
+        return (
+            self._rows.phys(v0 % self.extent),
+            self._cols.phys(v1 % self.extent),
+        )
+
+
+@dataclass
+class CommEvent:
+    """One element-level communication produced by the executor."""
+
+    access_label: str
+    time: Tuple[int, ...]
+    sender_virtual: Virtual
+    receiver_virtual: Virtual
+    sender: Phys
+    receiver: Phys
+
+    @property
+    def is_local_phys(self) -> bool:
+        return self.sender == self.receiver
+
+
+@dataclass
+class MappedProgram:
+    """A fully mapped program ready for execution on a machine model."""
+
+    mapping: MappingResult
+    folding: Folding
+    params: Dict[str, int]
+
+    def virtual_of_stmt(self, stmt: str, index: Sequence[int]) -> Virtual:
+        al = self.mapping.alignment
+        m = al.allocation_of_stmt(stmt)
+        a = al.offset_of_stmt(stmt)
+        return (m @ IntMat.col(list(index)) + a).column_tuple(0)
+
+    def virtual_of_array(self, array: str, subscripts: Sequence[int]) -> Virtual:
+        al = self.mapping.alignment
+        m = al.allocation_of_array(array)
+        a = al.offset_of_array(array)
+        return (m @ IntMat.col(list(subscripts)) + a).column_tuple(0)
+
+    def comm_events(self) -> List[CommEvent]:
+        """Element-level communications of the whole execution.
+
+        For a read, data flows array-owner -> statement processor; for
+        a write, statement processor -> array owner.
+        """
+        out: List[CommEvent] = []
+        nest = self.mapping.alignment.nest
+        sched = self.mapping.schedules
+        for stmt in nest.statements:
+            theta = sched.schedule_of(stmt.name)
+            for acc in stmt.accesses:
+                label = acc.label or f"{stmt.name}:{acc.array}"
+                for idx in stmt.iteration_domain(self.params):
+                    subs = acc.apply(idx)
+                    owner_v = self.virtual_of_array(acc.array, subs)
+                    stmt_v = self.virtual_of_stmt(stmt.name, idx)
+                    if acc.kind is AccessKind.READ:
+                        sv, rv = owner_v, stmt_v
+                    else:
+                        sv, rv = stmt_v, owner_v
+                    out.append(
+                        CommEvent(
+                            access_label=label,
+                            time=theta.time_of(idx),
+                            sender_virtual=sv,
+                            receiver_virtual=rv,
+                            sender=self.folding.fold(sv),
+                            receiver=self.folding.fold(rv),
+                        )
+                    )
+        return out

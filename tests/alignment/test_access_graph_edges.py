@@ -1,0 +1,94 @@
+"""Edge-case tests for access-graph construction: rank thresholds,
+missing integer inverses, graph bookkeeping."""
+
+import pytest
+
+from repro.alignment import build_access_graph, stmt_node, var_node
+from repro.ir import NestBuilder
+from repro.linalg import IntMat
+
+
+def _nest_with_access(array_dim, f_rows, depth=2):
+    b = NestBuilder("edge")
+    b.array("x", array_dim).array("out", depth)
+    ident = [[1 if i == j else 0 for j in range(depth)] for i in range(depth)]
+    b.statement(
+        "S",
+        [("ijk"[d], 0, "N") for d in range(depth)],
+        writes=[("out", ident, None, "W")],
+        reads=[("x", f_rows, None, "R")],
+    )
+    return b.build()
+
+
+class TestRankThresholds:
+    def test_rank_below_m_excluded(self):
+        nest = _nest_with_access(2, [[1, 1], [1, 1]])  # rank 1 < m=2
+        ag = build_access_graph(nest, m=2)
+        assert "R" in {r.label for r in ag.excluded}
+
+    def test_rank_equal_m_included(self):
+        nest = _nest_with_access(2, [[1, 0], [0, 1]])
+        ag = build_access_graph(nest, m=2)
+        assert "R" not in {r.label for r in ag.excluded}
+
+    def test_m1_admits_rank1_full_rank_only(self):
+        # a 1-D array read via full-rank flat matrix: edge exists at m=1
+        nest = _nest_with_access(1, [[1, 1]])
+        ag = build_access_graph(nest, m=1)
+        labels = {e.payload.ref.label for e in ag.graph.edges()}
+        assert "R" in labels
+
+    def test_not_full_rank_excluded_even_if_ge_m(self):
+        # 3x3 access of rank 2: rank >= m = 2 but F is not full rank,
+        # so the edge condition of Section 2.2.2 rejects it
+        nest = _nest_with_access(
+            3, [[1, 0, 0], [0, 1, 0], [1, 1, 0]], depth=3
+        )
+        ag = build_access_graph(nest, m=2)
+        assert "R" in {r.label for r in ag.excluded}
+
+
+class TestDirections:
+    def test_flat_access_points_var_to_stmt(self):
+        nest = _nest_with_access(2, [[1, 0, 0], [0, 1, 0]], depth=3)
+        ag = build_access_graph(nest, m=2)
+        edges = ag.edges_of_access("R")
+        assert len(edges) == 1
+        assert edges[0].src == var_node("x")
+        assert edges[0].dst == stmt_node("S")
+
+    def test_narrow_access_points_stmt_to_var(self):
+        nest = _nest_with_access(3, [[1, 0], [0, 1], [1, 1]])
+        ag = build_access_graph(nest, m=2)
+        edges = ag.edges_of_access("R")
+        assert len(edges) == 1
+        assert edges[0].src == stmt_node("S")
+        # the weight matrix is a left inverse of F
+        info = edges[0].payload
+        f = nest.statement("S").reads()[0].F
+        assert info.matrix @ f == IntMat.identity(2)
+
+    def test_square_unimodular_both_directions(self):
+        nest = _nest_with_access(2, [[1, 1], [0, 1]])
+        ag = build_access_graph(nest, m=2)
+        assert len(ag.edges_of_access("R")) == 2
+
+    def test_square_non_unimodular_one_direction(self):
+        nest = _nest_with_access(2, [[2, 1], [1, 1]])  # det 1: unimodular!
+        nest = _nest_with_access(2, [[2, 0], [0, 1]])  # det 2
+        ag = build_access_graph(nest, m=2)
+        edges = ag.edges_of_access("R")
+        assert len(edges) == 1
+        assert edges[0].payload.direction == "var_to_stmt"
+
+    def test_narrow_without_integer_inverse_recorded(self):
+        # F = [[2],[0]]: no integer G with G F = 1
+        nest = _nest_with_access(2, [[2], [0]], depth=1)
+        ag = build_access_graph(nest, m=1)
+        assert "R" in {r.label for r in ag.no_integer_inverse}
+
+    def test_describe_lists_excluded(self):
+        nest = _nest_with_access(2, [[1, 1], [1, 1]])
+        text = build_access_graph(nest, m=2).describe()
+        assert "excluded" in text

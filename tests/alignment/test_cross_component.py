@@ -1,0 +1,80 @@
+"""Cross-component residuals: when a residual communication links two
+different branching components, the two components' rotation freedoms
+are independent, so a unimodular data-flow matrix can be rotated away
+entirely — the communication becomes a pure translation (the cheap
+class of Table 1)."""
+
+import pytest
+
+from repro.alignment import stmt_node, two_step_heuristic, var_node
+from repro.ir import NestBuilder
+from repro.linalg import IntMat
+
+
+def _two_component_nest():
+    """Branching forms {z -> S1 -> y} and {S2 <-> x}; the flat read of
+    x in S1 crosses the two components (S1's in-degree is spent on the
+    heavier path through z)."""
+    b = NestBuilder("cross")
+    b.array("z", 2).array("x", 2).array("y", 3)
+    b.statement(
+        "S1",
+        [("i", 0, 3), ("j", 0, 3), ("k", 0, 3)],
+        writes=[("y", IntMat.identity(3).tolist(), None, "Fy")],
+        reads=[
+            ("z", [[1, 0, 0], [0, 1, 0]], None, "Fz"),
+            ("x", [[0, 1, 0], [1, 0, 0]], None, "Fx"),
+        ],
+    )
+    b.statement(
+        "S2",
+        [("i", 0, 3), ("j", 0, 3)],
+        writes=[("x", IntMat.identity(2).tolist(), None, "Fw")],
+    )
+    return b.build()
+
+
+class TestCrossComponent:
+    def test_two_components_formed(self):
+        nest = _two_component_nest()
+        result = two_step_heuristic(nest, m=2)
+        al = result.alignment
+        comp_s1 = al.component_root_of[stmt_node("S1")]
+        comp_s2 = al.component_root_of[stmt_node("S2")]
+        assert comp_s1 != comp_s2
+        assert al.component_root_of[var_node("x")] == comp_s2
+
+    def test_cross_residual_becomes_translation(self):
+        nest = _two_component_nest()
+        result = two_step_heuristic(nest, m=2)
+        fx = result.residual_by_label("Fx")
+        assert fx.classification == "translation"
+        assert fx.dataflow is not None and fx.dataflow.is_identity()
+
+    def test_all_other_accesses_local(self):
+        nest = _two_component_nest()
+        result = two_step_heuristic(nest, m=2)
+        assert {"Fy", "Fz", "Fw"} <= result.alignment.local_labels
+
+    def test_rotation_recorded_for_stmt_component(self):
+        nest = _two_component_nest()
+        result = two_step_heuristic(nest, m=2)
+        al = result.alignment
+        comp_s1 = al.component_root_of[stmt_node("S1")]
+        assert comp_s1 in result.rotations
+
+    def test_baseline_no_rotation_spends_no_freedom(self):
+        """With rotations disabled the classifier may still find the
+        residual cheap (the default allocations can happen to align),
+        but it must not left-multiply any component."""
+        from repro.alignment import align, optimize_residuals
+        from repro.ir import trivial_schedules
+
+        nest = _two_component_nest()
+        al = align(nest, 2)
+        before = {k: v for k, v in al.allocations.items()}
+        result = optimize_residuals(
+            al, trivial_schedules(nest), allow_rotations=False
+        )
+        assert result.rotations == {}
+        assert result.alignment.allocations == before

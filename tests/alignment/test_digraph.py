@@ -1,0 +1,162 @@
+"""Tests for the digraph and the from-scratch Edmonds maximum
+branching, cross-checked against networkx as an oracle."""
+
+import random
+
+import networkx as nx
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.alignment.digraph import (
+    Digraph,
+    branching_roots,
+    connected_components,
+    is_branching,
+    maximum_branching,
+)
+
+
+def _nx_max_branching_weight(g: Digraph) -> int:
+    nxg = nx.MultiDiGraph()
+    for n in g.nodes:
+        nxg.add_node(n)
+    for e in g.edges():
+        nxg.add_edge(e.src, e.dst, weight=e.weight)
+    br = nx.algorithms.tree.branchings.maximum_branching(
+        nxg, attr="weight", default=0
+    )
+    return sum(d["weight"] for _, _, d in br.edges(data=True))
+
+
+class TestDigraph:
+    def test_add_and_query(self):
+        g = Digraph()
+        e = g.add_edge("a", "b", 3)
+        assert e.src == "a" and e.dst == "b"
+        assert g.nodes == {"a", "b"}
+        assert len(g) == 1
+        assert g.edge(e.id) is e
+        assert g.out_edges("a") == [e]
+        assert g.in_edges("b") == [e]
+
+    def test_parallel_edges(self):
+        g = Digraph()
+        g.add_edge("a", "b", 1)
+        g.add_edge("a", "b", 2)
+        assert len(g) == 2
+
+    def test_total_weight(self):
+        g = Digraph()
+        e1 = g.add_edge("a", "b", 1)
+        e2 = g.add_edge("b", "c", 2)
+        assert g.total_weight([e1.id, e2.id]) == 3
+
+
+class TestBranchingSimple:
+    def test_chain(self):
+        g = Digraph()
+        g.add_edge("a", "b", 2)
+        g.add_edge("b", "c", 3)
+        chosen = maximum_branching(g)
+        assert g.total_weight(chosen) == 5
+        assert is_branching(g, chosen)
+        assert branching_roots(g, chosen) == {"a"}
+
+    def test_two_in_edges_picks_heavier(self):
+        g = Digraph()
+        g.add_edge("a", "c", 2)
+        e = g.add_edge("b", "c", 5)
+        chosen = maximum_branching(g)
+        assert chosen == {e.id}
+
+    def test_cycle_broken(self):
+        g = Digraph()
+        g.add_edge("a", "b", 5)
+        g.add_edge("b", "a", 5)
+        chosen = maximum_branching(g)
+        assert len(chosen) == 1
+        assert is_branching(g, chosen)
+
+    def test_cycle_with_entry(self):
+        g = Digraph()
+        g.add_edge("a", "b", 5)
+        g.add_edge("b", "a", 5)
+        g.add_edge("r", "a", 1)
+        chosen = maximum_branching(g)
+        assert is_branching(g, chosen)
+        assert g.total_weight(chosen) == _nx_max_branching_weight(g)
+
+    def test_negative_and_zero_edges_ignored(self):
+        g = Digraph()
+        g.add_edge("a", "b", 0)
+        g.add_edge("b", "c", -2)
+        assert maximum_branching(g) == set()
+
+    def test_self_loop_ignored(self):
+        g = Digraph()
+        g.add_edge("a", "a", 10)
+        assert maximum_branching(g) == set()
+
+    def test_three_cycle_contract(self):
+        g = Digraph()
+        g.add_edge("a", "b", 4)
+        g.add_edge("b", "c", 4)
+        g.add_edge("c", "a", 4)
+        g.add_edge("x", "b", 3)
+        chosen = maximum_branching(g)
+        assert is_branching(g, chosen)
+        assert g.total_weight(chosen) == _nx_max_branching_weight(g)
+
+    def test_nested_cycles(self):
+        g = Digraph()
+        # two 2-cycles sharing a vertex, plus an external entry
+        g.add_edge("a", "b", 5)
+        g.add_edge("b", "a", 5)
+        g.add_edge("b", "c", 4)
+        g.add_edge("c", "b", 6)
+        g.add_edge("r", "c", 1)
+        chosen = maximum_branching(g)
+        assert is_branching(g, chosen)
+        assert g.total_weight(chosen) == _nx_max_branching_weight(g)
+
+
+class TestBranchingRandomOracle:
+    @given(st.integers(0, 10_000))
+    @settings(max_examples=80, deadline=None)
+    def test_matches_networkx_weight(self, seed):
+        rng = random.Random(seed)
+        n = rng.randint(2, 7)
+        nodes = [f"v{i}" for i in range(n)]
+        g = Digraph()
+        for v in nodes:
+            g.add_node(v)
+        for _ in range(rng.randint(1, 14)):
+            s, d = rng.sample(nodes, 2)
+            g.add_edge(s, d, rng.randint(1, 9))
+        chosen = maximum_branching(g)
+        assert is_branching(g, chosen)
+        assert g.total_weight(chosen) == _nx_max_branching_weight(g)
+
+
+class TestComponents:
+    def test_components_and_roots(self):
+        g = Digraph()
+        e1 = g.add_edge("a", "b", 1)
+        g.add_node("z")
+        comps = connected_components(g, {e1.id})
+        comp_sets = sorted(tuple(sorted(c)) for c in comps)
+        assert comp_sets == [("a", "b"), ("z",)]
+        assert branching_roots(g, {e1.id}) == {"a", "z"}
+
+    def test_is_branching_rejects_double_in(self):
+        g = Digraph()
+        e1 = g.add_edge("a", "c", 1)
+        e2 = g.add_edge("b", "c", 1)
+        assert not is_branching(g, {e1.id, e2.id})
+
+    def test_is_branching_rejects_cycle(self):
+        g = Digraph()
+        e1 = g.add_edge("a", "b", 1)
+        e2 = g.add_edge("b", "a", 1)
+        assert not is_branching(g, {e1.id, e2.id})

@@ -1,0 +1,166 @@
+"""Tests for similarity reduction, unirow decomposition and the
+top-level decompose_dataflow dispatcher."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.decomp import (
+    conjugate,
+    decompose_dataflow,
+    decompose_two,
+    is_unirow,
+    similar_to_two_factors_search,
+    similar_to_two_factors_sufficient,
+    triangular_unirow_factors,
+    two_factor_traces,
+    unirow_decomposition,
+    verify_factors,
+)
+from repro.linalg import IntMat, is_unimodular, unimodular_inverse
+
+
+class TestSimilarity:
+    def test_sufficient_condition_applies(self):
+        # c | a-1: a=3, c=2
+        t = IntMat([[3, 4], [2, 3]])
+        out = similar_to_two_factors_sufficient(t)
+        assert out is not None
+        m, factors = out
+        assert is_unimodular(m)
+        sim = conjugate(t, m)
+        assert verify_factors(sim, factors)
+        assert len(factors) <= 2
+
+    def test_sufficient_condition_transpose_side(self):
+        t = IntMat([[3, 2], [4, 3]])
+        out = similar_to_two_factors_sufficient(t)
+        assert out is not None
+        m, factors = out
+        assert verify_factors(conjugate(t, m), factors)
+
+    def test_search_finds_conjugation(self):
+        t = IntMat([[3, 4], [2, 3]])
+        out = similar_to_two_factors_search(t, bound=2)
+        assert out is not None
+        m, factors = out
+        assert verify_factors(conjugate(t, m), factors)
+
+    def test_search_none_when_trace_unreachable(self):
+        # two-factor products have trace 2 + l k; trace values near 2
+        # are always reachable, but a matrix similar to L·U must keep
+        # the trace.  tr=2 with non-unipotent structure is impossible
+        # for det-1... use tr(T)=2, T != unipotent-conjugate-of-LU with
+        # content 3: T - I has content 3 -> only similar to L(±3)/U(±3),
+        # which *is* a 1-factor product, so search succeeds.  Instead
+        # certify the negative case via trace: tr = 1 (so l k = -1)
+        # admits only L(1)U(-1)-type classes; class number of the order
+        # of disc -3 is 1, so search should actually succeed there too.
+        # A certified negative: no 2-factor product has trace 3 unless
+        # lk = 1, giving exactly [[1,k],[l,2]] classes; the matrix
+        # below has trace 7 and c=3 ∤ a-1=4, b=9 ∤ d-1=2 — the sufficient
+        # condition fails, and the bounded search documents the gap.
+        t = IntMat([[5, 9], [3, 2]])  # wrong det; fix below
+        t = IntMat([[5, 8], [3, 5]])  # det 1, tr 10
+        out = similar_to_two_factors_sufficient(t)
+        assert out is None
+
+    def test_two_factor_traces(self):
+        traces = two_factor_traces(3)
+        assert 2 in traces  # l or k zero
+        assert 3 in traces  # lk = 1
+        assert 11 in traces  # lk = 9
+
+
+class TestUnirow:
+    def test_identity(self):
+        assert unirow_decomposition(IntMat.identity(3)) == []
+
+    def test_diagonal(self):
+        t = IntMat.diag([2, 3])
+        factors = unirow_decomposition(t)
+        assert verify_factors(t, factors)
+        assert all(is_unirow(f) for f in factors)
+
+    def test_det1_matrix(self):
+        t = IntMat([[1, 3], [2, 7]])
+        factors = unirow_decomposition(t)
+        assert verify_factors(t, factors)
+        assert all(is_unirow(f) for f in factors)
+
+    def test_negative_det(self):
+        t = IntMat([[0, 1], [1, 0]])
+        factors = unirow_decomposition(t)
+        assert verify_factors(t, factors)
+        assert all(is_unirow(f) for f in factors)
+
+    def test_3x3(self):
+        t = IntMat([[2, 1, 0], [1, 3, 1], [0, 1, 4]])
+        factors = unirow_decomposition(t)
+        assert verify_factors(t, factors)
+        assert all(is_unirow(f) for f in factors)
+
+    def test_rejects_singular(self):
+        with pytest.raises(ValueError):
+            unirow_decomposition(IntMat([[1, 1], [1, 1]]))
+
+    def test_triangular_peel_upper(self):
+        h = IntMat([[2, 5, 7], [0, 3, 1], [0, 0, 4]])
+        factors = triangular_unirow_factors(h, lower=False)
+        assert verify_factors(h, factors)
+
+    def test_triangular_peel_lower(self):
+        h = IntMat([[2, 0, 0], [5, 3, 0], [7, 1, 4]])
+        factors = triangular_unirow_factors(h, lower=True)
+        assert verify_factors(h, factors)
+
+    @given(
+        st.lists(
+            st.lists(st.integers(-4, 4), min_size=3, max_size=3),
+            min_size=3,
+            max_size=3,
+        )
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_property_3x3(self, rows):
+        t = IntMat(rows)
+        if t.det() == 0:
+            return
+        factors = unirow_decomposition(t)
+        assert verify_factors(t, factors)
+        assert all(is_unirow(f) for f in factors)
+
+
+class TestDispatcher:
+    def test_direct_two(self):
+        plan = decompose_dataflow(IntMat([[1, 3], [2, 7]]))
+        assert plan.strategy == "direct"
+        assert plan.num_phases == 2
+        assert plan.conjugator is None
+
+    def test_similarity_path(self):
+        t = IntMat([[3, 4], [2, 3]])
+        plan = decompose_dataflow(t)
+        assert plan.strategy in ("similarity", "direct")
+        if plan.conjugator is not None:
+            sim = conjugate(t, plan.conjugator)
+            assert verify_factors(sim, plan.factors)
+        else:
+            assert verify_factors(t, plan.factors)
+
+    def test_no_conjugation_flag(self):
+        t = IntMat([[3, 4], [2, 3]])
+        plan = decompose_dataflow(t, allow_conjugation=False)
+        assert plan.conjugator is None
+        assert verify_factors(t, plan.factors)
+
+    def test_non_det1_uses_unirow(self):
+        t = IntMat([[2, 1], [1, 2]])  # det 3
+        plan = decompose_dataflow(t)
+        assert plan.strategy == "unirow"
+        assert verify_factors(t, plan.factors)
+
+    def test_3x3_uses_unirow(self):
+        t = IntMat([[1, 1, 0], [0, 1, 1], [0, 0, 1]])
+        plan = decompose_dataflow(t)
+        assert verify_factors(t, plan.factors)

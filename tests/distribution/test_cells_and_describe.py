@@ -1,0 +1,72 @@
+"""Coverage for the distribution helpers: ownership enumeration,
+describe strings, and cross-scheme conservation properties."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.distribution import (
+    BlockCyclicDistribution,
+    BlockDistribution,
+    CyclicDistribution,
+    GroupedDistribution,
+    make_1d,
+)
+
+SCHEMES = [
+    lambda n, p: BlockDistribution(n, p),
+    lambda n, p: CyclicDistribution(n, p),
+    lambda n, p: BlockCyclicDistribution(n, p, block=2),
+    lambda n, p: GroupedDistribution(n, p, k=3),
+]
+
+
+class TestCells:
+    def test_cells_partition(self):
+        d = CyclicDistribution(10, 3)
+        owned = [d.cells(p) for p in range(3)]
+        flat = sorted(v for cells in owned for v in cells)
+        assert flat == list(range(10))
+
+    def test_cells_match_phys(self):
+        d = GroupedDistribution(12, 4, k=3)
+        for p in range(4):
+            for v in d.cells(p):
+                assert d.phys(v) == p
+
+    @given(st.integers(1, 30), st.integers(1, 6), st.integers(0, 3))
+    @settings(max_examples=60, deadline=None)
+    def test_property_partition_all_schemes(self, n, p, scheme_idx):
+        d = SCHEMES[scheme_idx](n, p)
+        flat = sorted(v for proc in range(p) for v in d.cells(proc))
+        assert flat == list(range(n))
+
+
+class TestDescribe:
+    def test_describe_strings(self):
+        assert "BLOCK" in BlockDistribution(4, 2).describe()
+        assert "CYCLIC(2)" in BlockCyclicDistribution(4, 2, 2).describe()
+        assert "GROUPED(k=3)" in GroupedDistribution(6, 2, 3).describe()
+
+    def test_invalid_sizes(self):
+        with pytest.raises(ValueError):
+            BlockDistribution(0, 2)
+        with pytest.raises(ValueError):
+            GroupedDistribution(4, 2, k=0)
+
+
+class TestBalance:
+    @given(st.integers(4, 40), st.integers(2, 5))
+    @settings(max_examples=40, deadline=None)
+    def test_block_near_balanced(self, n, p):
+        d = BlockDistribution(n, p)
+        sizes = [len(d.cells(proc)) for proc in range(p)]
+        # ceil-div blocks: all full blocks except possibly the tail
+        assert max(sizes) - min(s for s in sizes if s > 0) <= max(sizes)
+
+    @given(st.integers(4, 40), st.integers(2, 5))
+    @settings(max_examples=40, deadline=None)
+    def test_cyclic_perfectly_balanced(self, n, p):
+        d = CyclicDistribution(n, p)
+        sizes = [len(d.cells(proc)) for proc in range(p)]
+        assert max(sizes) - min(sizes) <= 1

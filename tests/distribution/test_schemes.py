@@ -1,0 +1,110 @@
+"""Tests for the distribution schemes, including the exact Figure 6
+layout of the grouped partition."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.distribution import (
+    BlockCyclicDistribution,
+    BlockDistribution,
+    CyclicDistribution,
+    Distribution2D,
+    GroupedDistribution,
+    make_1d,
+)
+
+
+class TestBlock:
+    def test_even(self):
+        d = BlockDistribution(8, 4)
+        assert [d.phys(v) for v in range(8)] == [0, 0, 1, 1, 2, 2, 3, 3]
+
+    def test_uneven(self):
+        d = BlockDistribution(7, 3)
+        # ceil(7/3) = 3: blocks of 3, 3, 1
+        assert [d.phys(v) for v in range(7)] == [0, 0, 0, 1, 1, 1, 2]
+
+    def test_out_of_range(self):
+        with pytest.raises(IndexError):
+            BlockDistribution(4, 2).phys(4)
+
+
+class TestCyclic:
+    def test_round_robin(self):
+        d = CyclicDistribution(6, 3)
+        assert [d.phys(v) for v in range(6)] == [0, 1, 2, 0, 1, 2]
+
+    def test_block_cyclic(self):
+        d = BlockCyclicDistribution(8, 2, block=2)
+        assert [d.phys(v) for v in range(8)] == [0, 0, 1, 1, 0, 0, 1, 1]
+
+    def test_block_cyclic_rejects_bad_block(self):
+        with pytest.raises(ValueError):
+            BlockCyclicDistribution(8, 2, block=0)
+
+
+class TestGrouped:
+    def test_figure6_layout(self):
+        """12 virtual indices, k=3, P=4: the paper's Figure 6."""
+        d = GroupedDistribution(12, 4, k=3)
+        order = sorted(range(12), key=d.position)
+        assert order == [0, 3, 6, 9, 1, 4, 7, 10, 2, 5, 8, 11]
+        owners = {p: [v for v in range(12) if d.phys(v) == p] for p in range(4)}
+        assert owners[0] == [0, 3, 6]
+        assert owners[1] == [1, 4, 9]  # positions 3,4,5 = virtuals 9,1,4
+        assert owners[3] == [5, 8, 11]
+
+    def test_positions_are_a_permutation(self):
+        d = GroupedDistribution(12, 4, k=3)
+        assert sorted(d.position(v) for v in range(12)) == list(range(12))
+
+    def test_uneven_classes(self):
+        d = GroupedDistribution(10, 2, k=3)
+        assert sorted(d.position(v) for v in range(10)) == list(range(10))
+
+    def test_k1_equals_block(self):
+        g = GroupedDistribution(8, 4, k=1)
+        b = BlockDistribution(8, 4)
+        assert [g.phys(v) for v in range(8)] == [b.phys(v) for v in range(8)]
+
+    def test_class_members_contiguous(self):
+        """Members of one residue class occupy contiguous positions."""
+        d = GroupedDistribution(12, 4, k=4)
+        for c in range(4):
+            pos = sorted(d.position(v) for v in range(12) if v % 4 == c)
+            assert pos == list(range(pos[0], pos[0] + len(pos)))
+
+    @given(
+        st.integers(1, 40),
+        st.integers(1, 8),
+        st.integers(1, 8),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_property_total_and_balanced(self, n, p, k):
+        d = GroupedDistribution(n, p, k=k)
+        owners = [d.phys(v) for v in range(n)]
+        assert all(0 <= o < p for o in owners)
+        assert sorted(d.position(v) for v in range(n)) == list(range(n))
+
+
+class TestProductAndFactory:
+    def test_2d(self):
+        d = Distribution2D(
+            rows=BlockDistribution(4, 2), cols=CyclicDistribution(4, 2)
+        )
+        assert d.phys((0, 0)) == (0, 0)
+        assert d.phys((3, 3)) == (1, 1)
+        assert d.virtual_shape == (4, 4)
+        assert d.phys_shape == (2, 2)
+
+    def test_factory(self):
+        assert make_1d("block", 4, 2).name == "BLOCK"
+        assert make_1d("cyclic", 4, 2).name == "CYCLIC"
+        assert make_1d("cyclic_block", 4, 2, block=2).block == 2
+        assert make_1d("grouped", 4, 2, k=2).k == 2
+        with pytest.raises(ValueError):
+            make_1d("mystery", 4, 2)
+
+    def test_describe(self):
+        assert "GROUPED" in GroupedDistribution(4, 2, k=2).describe()

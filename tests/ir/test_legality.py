@@ -1,0 +1,56 @@
+"""Tests for the schedule legality checker."""
+
+import pytest
+
+from repro.ir import (
+    NestBuilder,
+    infer_schedules,
+    motivating_example,
+    outer_sequential_schedules,
+    schedule_is_legal,
+    schedule_violations,
+    trivial_schedules,
+)
+
+PARAMS = {"N": 3, "M": 3}
+
+
+def _dependent_nest():
+    b = NestBuilder("dep")
+    b.array("x", 1)
+    b.statement(
+        "S",
+        [("i", 1, 4)],
+        writes=[("x", [[1]], [0])],
+        reads=[("x", [[1]], [-1])],
+    )
+    return b.build()
+
+
+class TestLegality:
+    def test_motivating_example_trivial_schedule_legal(self):
+        nest = motivating_example()
+        assert schedule_is_legal(trivial_schedules(nest), PARAMS)
+
+    def test_parallel_schedule_illegal_for_recurrence(self):
+        nest = _dependent_nest()
+        sn = trivial_schedules(nest)
+        assert not schedule_is_legal(sn, {})
+        violations = schedule_violations(sn, {})
+        assert violations
+        assert "x" in violations[0]
+
+    def test_sequential_schedule_legal_for_recurrence(self):
+        nest = _dependent_nest()
+        sn = outer_sequential_schedules(nest, outer=1)
+        assert schedule_is_legal(sn, {})
+
+    def test_inferred_schedules_always_legal(self):
+        for nest in (motivating_example(), _dependent_nest()):
+            sn = infer_schedules(nest, PARAMS)
+            assert schedule_is_legal(sn, PARAMS)
+
+    def test_violation_limit(self):
+        nest = _dependent_nest()
+        sn = trivial_schedules(nest)
+        assert len(schedule_violations(sn, {}, limit=2)) == 2

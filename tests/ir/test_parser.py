@@ -1,0 +1,112 @@
+"""Tests for the textual loop-nest front end."""
+
+import pytest
+
+from repro.ir import NestSyntaxError, motivating_example, parse_nest
+from repro.linalg import IntMat
+
+EXAMPLE1_SRC = """
+array a(2), b(3), c(3)
+for i = 1..N:
+  for j = 1..M:
+    S1: b[i, j, 0] = g1(a[i+j, j+1], a[i-j, i+1], c[j, i, 0])
+    for k = 1..N+M:
+      S2: b[i, j, k] = g2(a[i+j+k+1, j+k])
+      S3: c[i, j, j+k] = g3(a[i+j, i+j+1])
+"""
+
+
+class TestParseExample1:
+    def test_round_trip_matches_builtin(self):
+        parsed = parse_nest(EXAMPLE1_SRC, name="example1")
+        builtin = motivating_example()
+        assert set(parsed.arrays) == set(builtin.arrays)
+        for s_parsed in parsed.statements:
+            s_ref = builtin.statement(s_parsed.name)
+            assert s_parsed.depth == s_ref.depth
+            got = {(a.array, a.F, a.c, a.kind) for a in s_parsed.accesses}
+            want = {(a.array, a.F, a.c, a.kind) for a in s_ref.accesses}
+            assert got == want
+
+    def test_labels_in_source_order(self):
+        parsed = parse_nest(EXAMPLE1_SRC)
+        labels = [a.label for s in parsed.statements for a in s.accesses]
+        assert labels == [f"F{i}" for i in range(1, 9)]
+
+    def test_bounds(self):
+        parsed = parse_nest(EXAMPLE1_SRC)
+        s2 = parsed.statement("S2")
+        k_loop = s2.loops[2]
+        assert k_loop.upper.evaluate({"N": 3, "M": 4}) == 7
+
+
+class TestExpressionForms:
+    def test_coefficients(self):
+        nest = parse_nest(
+            "array x(1)\nfor i = 0..9:\n  S: x[2*i - 3] = x[i*2]\n"
+        )
+        w = nest.statement("S").writes()[0]
+        assert w.F == IntMat([[2]])
+        assert w.c == IntMat.col([-3])
+        r = nest.statement("S").reads()[0]
+        assert r.F == IntMat([[2]])
+
+    def test_negative_leading_var(self):
+        nest = parse_nest("array x(1)\nfor i = 0..9:\n  S: x[-i] = x[-i+1]\n")
+        assert nest.statement("S").writes()[0].F == IntMat([[-1]])
+
+    def test_constant_subscript(self):
+        nest = parse_nest(
+            "array x(2)\nfor i = 0..9:\n  S: x[i, 5] = x[i, 0]\n"
+        )
+        w = nest.statement("S").writes()[0]
+        assert w.F == IntMat([[1], [0]])
+        assert w.c == IntMat.col([0, 5])
+
+
+class TestErrors:
+    def test_unknown_variable(self):
+        with pytest.raises(NestSyntaxError):
+            parse_nest("array x(1)\nfor i = 0..9:\n  S: x[z] = x[i]\n")
+
+    def test_non_affine(self):
+        with pytest.raises(NestSyntaxError):
+            parse_nest("array x(1)\nfor i = 0..9:\n  S: x[i*i] = x[i]\n")
+
+    def test_statement_outside_loop(self):
+        with pytest.raises(NestSyntaxError):
+            parse_nest("array x(1)\nS: x[0] = x[1]\n")
+
+    def test_bad_array_decl(self):
+        with pytest.raises(NestSyntaxError):
+            parse_nest("array x[2]\n")
+
+    def test_shadowed_loop_var(self):
+        with pytest.raises(NestSyntaxError):
+            parse_nest(
+                "array x(1)\nfor i = 0..9:\n  for i = 0..9:\n    S: x[i] = x[i]\n"
+            )
+
+    def test_no_assignment(self):
+        with pytest.raises(NestSyntaxError):
+            parse_nest("array x(1)\nfor i = 0..9:\n  S: x[i]\n")
+
+    def test_dim_mismatch_caught(self):
+        with pytest.raises(ValueError):
+            parse_nest("array x(2)\nfor i = 0..9:\n  S: x[i] = x[i, 0]\n")
+
+    def test_garbage_line(self):
+        with pytest.raises(NestSyntaxError):
+            parse_nest("this is not a nest\n")
+
+
+class TestParsedNestsAlign:
+    def test_parsed_example1_full_pipeline(self):
+        """The parsed nest runs through the whole heuristic and yields
+        the same outcome as the built-in example."""
+        from repro.alignment import two_step_heuristic
+
+        parsed = parse_nest(EXAMPLE1_SRC, name="example1")
+        result = two_step_heuristic(parsed, m=2)
+        assert result.counts()["local"] == 5
+        assert result.residual_by_label("F3").classification == "decomposed"

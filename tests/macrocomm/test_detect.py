@@ -1,0 +1,159 @@
+"""Tests for the Section 4 macro-communication detectors, axis
+parallelism and message vectorization."""
+
+import pytest
+
+from repro.linalg import IntMat
+from repro.macrocomm import (
+    Extent,
+    MacroKind,
+    axis_alignment_rotation,
+    axis_parallel,
+    can_vectorize,
+    detect_broadcast,
+    detect_gather,
+    detect_reduction,
+    detect_scatter,
+)
+
+ZERO2 = IntMat.zeros(1, 2)
+ZERO3 = IntMat.zeros(1, 3)
+
+
+class TestBroadcast:
+    def test_partial_broadcast(self):
+        # F has kernel e3; M_S sees it: p = 1 < m = 2 -> partial
+        f = IntMat([[1, 0, 0], [0, 1, 0]])
+        m_s = IntMat([[1, 0, 0], [0, 0, 1]])
+        bc = detect_broadcast(ZERO3, f, m_s)
+        assert bc is not None
+        assert bc.kind is MacroKind.BROADCAST
+        assert bc.extent is Extent.PARTIAL
+        assert bc.p == 1
+        assert bc.grid_directions[0] == IntMat.col([0, 1])
+
+    def test_hidden_broadcast(self):
+        # kernel direction also in ker M_S: the mapping hides it
+        f = IntMat([[1, 0, 0], [0, 1, 0]])
+        m_s = IntMat([[1, 0, 0], [0, 1, 0]])
+        bc = detect_broadcast(ZERO3, f, m_s)
+        assert bc is not None
+        assert bc.extent is Extent.HIDDEN
+
+    def test_total_broadcast(self):
+        # 2-D kernel fully visible on a 2-D grid
+        f = IntMat([[1, 0, 0], [1, 0, 0]])
+        m_s = IntMat([[0, 1, 0], [0, 0, 1]])
+        bc = detect_broadcast(ZERO3, f, m_s)
+        assert bc.extent is Extent.TOTAL
+
+    def test_no_kernel_no_broadcast(self):
+        f = IntMat([[1, 0], [0, 1]])
+        m_s = IntMat([[1, 0], [0, 1]])
+        assert detect_broadcast(ZERO2, f, m_s) is None
+
+    def test_schedule_limits_broadcast(self):
+        # sequential schedule along the kernel direction kills it
+        f = IntMat([[1, 0, 0], [0, 1, 0]])
+        theta = IntMat([[0, 0, 1]])
+        m_s = IntMat([[1, 0, 0], [0, 0, 1]])
+        bc = detect_broadcast(theta, f, m_s)
+        assert bc is None or bc.extent is Extent.HIDDEN
+
+
+class TestScatterGather:
+    def test_scatter_detected(self):
+        # M_a F kills a direction that F itself moves: same owner,
+        # different data, different destinations
+        f = IntMat([[1, 0], [0, 1]])
+        m_a = IntMat([[1, 0]])  # 1-D grid of owners... use 2x2 grid:
+        m_a = IntMat([[1, 0], [0, 0]])
+        m_s = IntMat([[1, 0], [0, 1]])
+        sc = detect_scatter(ZERO2, f, m_a, m_s)
+        assert sc is not None
+        assert sc.kind is MacroKind.SCATTER
+        assert sc.extent is Extent.PARTIAL
+
+    def test_gather_detected(self):
+        f = IntMat([[1, 0], [0, 1]])
+        m_a = IntMat([[1, 0], [0, 0]])
+        m_s = IntMat([[1, 0], [0, 1]])
+        ga = detect_gather(ZERO2, f, m_a, m_s)
+        assert ga is not None
+        assert ga.kind is MacroKind.GATHER
+
+    def test_scatter_requires_moving_data(self):
+        # direction in ker F: same datum -> broadcast, not scatter
+        f = IntMat([[1, 0, 0], [0, 1, 0]])
+        m_a = IntMat([[1, 0], [0, 1]])
+        m_s = IntMat([[1, 0, 0], [0, 1, 0]])
+        sc = detect_scatter(ZERO3, f, m_a, m_s)
+        if sc is not None:
+            for v in sc.iteration_directions:
+                assert not (f @ v).is_zero()
+
+
+class TestReduction:
+    def test_reduction_detected(self):
+        # all (i, j) instances compute on processor (i, 0) but read
+        # b[j], owned by processor (j, 0): a fan-in along j
+        f = IntMat([[0, 1]])  # b read through (j)
+        m_b = IntMat([[1], [0]])
+        m_s = IntMat([[1, 0], [0, 0]])  # instances (i, j) -> (i, 0)
+        red = detect_reduction(ZERO2, f, m_b, m_s)
+        assert red is not None
+        assert red.kind is MacroKind.REDUCTION
+        assert red.p >= 1
+
+    def test_no_reduction_when_sources_agree(self):
+        f = IntMat([[1, 0], [0, 1]])
+        m_b = IntMat([[1, 0], [0, 1]])
+        m_s = IntMat([[1, 0], [0, 1]])
+        red = detect_reduction(ZERO2, f, m_b, m_s)
+        assert red is None or red.p == 0
+
+
+class TestAxisParallel:
+    def test_axis_parallel_single(self):
+        assert axis_parallel(IntMat.col([0, 3]))
+        assert not axis_parallel(IntMat.col([1, 1]))
+
+    def test_axis_parallel_matrix(self):
+        assert axis_parallel(IntMat([[2, 0], [0, 5]]))
+        # a full-rank square D spans the whole (coordinate) space: the
+        # paper's condition D = [D1 ; 0] is satisfied with no zero block
+        assert axis_parallel(IntMat([[1, 1], [0, 1]]))
+        # three non-zero rows but rank 2: not a coordinate subspace
+        assert not axis_parallel(IntMat([[1, 0], [1, 0], [0, 1]]))
+
+    def test_rotation_fixes_direction(self):
+        d = IntMat.col([1, 1])
+        v = axis_alignment_rotation(d)
+        assert axis_parallel(v @ d)
+
+    def test_rotation_fixes_matrix(self):
+        d = IntMat([[1, 2], [1, 1], [1, 0]])  # 3x2 directions in 3-D grid
+        v = axis_alignment_rotation(d)
+        rotated = v @ d
+        assert axis_parallel(rotated)
+
+    def test_rotation_unimodular(self):
+        from repro.linalg import is_unimodular
+
+        assert is_unimodular(axis_alignment_rotation(IntMat.col([2, 3])))
+
+
+class TestVectorization:
+    def test_vectorizable(self):
+        # M_S and M_a F have the same kernel: source constant over time
+        m_s = IntMat([[1, 0, 0], [0, 1, 0]])
+        m_a = IntMat([[1, 0], [0, 1]])
+        f = IntMat([[1, 0, 0], [0, 1, 0]])
+        assert can_vectorize(m_s, m_a, f)
+
+    def test_not_vectorizable(self):
+        # source depends on the third index, receiver does not
+        m_s = IntMat([[1, 0, 0], [0, 1, 0]])
+        m_a = IntMat([[1, 0], [0, 1]])
+        f = IntMat([[1, 0, 0], [0, 0, 1]])
+        assert not can_vectorize(m_s, m_a, f)

@@ -1,0 +1,54 @@
+"""Tests for the ``python -m repro`` command-line driver."""
+
+import pytest
+
+from repro.__main__ import _parse_params, main
+
+EX5_SRC = """array a(4), b(3)
+for t = 1..n:
+  for i = 1..n:
+    for j = 1..n:
+      for k = 1..n:
+        S: a[t, i, j, k] = b[t, i, j]
+"""
+
+
+@pytest.fixture()
+def nest_file(tmp_path):
+    p = tmp_path / "ex5.nest"
+    p.write_text(EX5_SRC)
+    return str(p)
+
+
+class TestCli:
+    def test_basic_run(self, nest_file, capsys):
+        assert main([nest_file]) == 0
+        out = capsys.readouterr().out
+        assert "mapping:" in out
+
+    def test_outer_sequential_communication_free(self, nest_file, capsys):
+        assert main([nest_file, "--outer-sequential", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "2 local" in out
+
+    def test_spmd_flag(self, nest_file, capsys):
+        assert main([nest_file, "--spmd"]) == 0
+        out = capsys.readouterr().out
+        assert "distribute a[" in out
+        assert "on_processor" in out
+
+    def test_execute_flag(self, nest_file, capsys):
+        rc = main(
+            [nest_file, "--execute", "--params", "n=3", "--mesh", "2x2",
+             "--outer-sequential", "1"]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "total:" in out
+
+    def test_missing_file(self, capsys):
+        assert main(["/nonexistent/nest.txt"]) == 2
+
+    def test_parse_params(self):
+        assert _parse_params("N=4,M=7") == {"N": 4, "M": 7}
+        assert _parse_params("") == {}

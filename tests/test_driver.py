@@ -1,0 +1,81 @@
+"""Tests for the end-to-end compiler façade."""
+
+import pytest
+
+from repro import CompiledNest, compile_nest
+from repro.ir import motivating_example, outer_sequential_schedules, trivial_schedules
+from repro.machine import CM5Model, ParagonModel
+
+EX1 = """
+array a(2), b(3), c(3)
+for i = 1..N:
+  for j = 1..M:
+    S1: b[i, j, 0] = g1(a[i+j, j+1], a[i-j, i+1], c[j, i, 0])
+    for k = 1..N+M:
+      S2: b[i, j, k] = g2(a[i+j+k+1, j+k])
+      S3: c[i, j, j+k] = g3(a[i+j, i+j+1])
+"""
+
+RECURRENCE = """
+array x(1)
+for i = 1..5:
+  S: x[i] = f(x[i-1])
+"""
+
+
+class TestCompileNest:
+    def test_from_source(self):
+        c = compile_nest(EX1, m=2)
+        assert isinstance(c, CompiledNest)
+        assert c.mapping.counts()["local"] == 5
+        assert "on_processor" in c.spmd
+
+    def test_from_ir(self):
+        c = compile_nest(motivating_example(), m=2)
+        assert c.mapping.counts()["local"] == 5
+
+    def test_explicit_schedules(self):
+        nest = motivating_example()
+        c = compile_nest(nest, m=2, schedules=trivial_schedules(nest))
+        assert c.schedules.schedule_of("S1").theta.is_zero()
+
+    def test_inferred_schedule_sequentializes_recurrence(self):
+        c = compile_nest(RECURRENCE, m=1)
+        assert not c.schedules.schedule_of("S").theta.is_zero()
+
+    def test_illegal_schedule_rejected(self):
+        from repro.ir import parse_nest
+
+        nest = parse_nest(RECURRENCE)
+        with pytest.raises(ValueError):
+            compile_nest(
+                nest, m=1, schedules=trivial_schedules(nest)
+            )
+
+    def test_legality_check_skippable(self):
+        from repro.ir import parse_nest
+
+        nest = parse_nest(RECURRENCE)
+        c = compile_nest(
+            nest, m=1, schedules=trivial_schedules(nest), check_legality=False
+        )
+        assert c is not None
+
+    def test_run_shortcut(self):
+        c = compile_nest(EX1, m=2)
+        machine = ParagonModel(2, 2)
+        rep = c.run(machine, params={"N": 3, "M": 3})
+        assert rep.total_time > 0
+
+    def test_run_with_collectives(self):
+        c = compile_nest(EX1, m=2)
+        machine = ParagonModel(2, 2)
+        rep = c.run(machine, params={"N": 3, "M": 3}, collectives=CM5Model())
+        macro_stats = [
+            s for s in rep.per_access.values() if s.classification == "macro"
+        ]
+        assert any(s.macro_ops > 0 for s in macro_stats)
+
+    def test_summary(self):
+        c = compile_nest(EX1, m=2)
+        assert "5 local" in c.summary()
