@@ -10,7 +10,11 @@ under ``pytest-benchmark``.
 
 from __future__ import annotations
 
-from typing import Iterable, List, Sequence
+import json
+import os
+import platform
+import sys
+from typing import Iterable, Mapping, Sequence
 
 
 def print_table(title: str, headers: Sequence[str], rows: Iterable[Sequence]) -> str:
@@ -40,3 +44,29 @@ def series(label: str, xs: Sequence, ys: Sequence[float]) -> None:
     """Print one figure series as x/y pairs."""
     pairs = "  ".join(f"({x}, {y:.2f})" for x, y in zip(xs, ys))
     print(f"  {label}: {pairs}")
+
+
+def record_bench(name: str, stats: Mapping) -> str:
+    """Persist one benchmark's measurements as ``BENCH_<name>.json``.
+
+    The file lands next to the ``bench_*.py`` sources so the perf
+    trajectory is tracked per-PR (see PERFORMANCE.md for the schema
+    conventions: wall times in seconds, sizes as plain counts, cache
+    stats as the ``stats()`` dicts of the caches involved).  A
+    ``python``/``platform`` stamp is added so recorded numbers can be
+    interpreted later.  Returns the path written.
+    """
+    payload = dict(stats)
+    payload.setdefault(
+        "environment",
+        {
+            "python": sys.version.split()[0],
+            "platform": platform.platform(),
+        },
+    )
+    path = os.path.join(os.path.dirname(os.path.abspath(__file__)), f"BENCH_{name}.json")
+    with open(path, "w") as fh:
+        json.dump(payload, fh, indent=2, sort_keys=True, default=str)
+        fh.write("\n")
+    print(f"\n  [record_bench] wrote {path}")
+    return path

@@ -1,0 +1,124 @@
+#!/usr/bin/env python3
+"""Run every ``bench_*.py`` non-interactively and track the results.
+
+CI / per-PR entry point::
+
+    python benchmarks/run_all.py            # fast: shape claims only
+    python benchmarks/run_all.py --timed    # full pytest-benchmark timing
+    python benchmarks/run_all.py --match fig  # subset by filename substring
+
+Each benchmark file runs in its own pytest subprocess (``PYTHONPATH``
+is set up automatically, so this works from a clean checkout).  Shape
+claims — the asserts inside the bench tests about who wins, orderings
+and speedup floors — always run; ``--timed`` additionally lets
+pytest-benchmark do its calibrated timing rounds instead of a single
+pass.  Benchmarks that call ``record_bench`` refresh their
+``BENCH_<name>.json`` artifacts as they go, and a ``BENCH_run_all.json``
+summary (per-file status and wall time) is always written.
+
+Exit status is nonzero iff any benchmark fails, so a shape-claim or
+speedup regression fails the pipeline.
+"""
+
+from __future__ import annotations
+
+import argparse
+import glob
+import os
+import subprocess
+import sys
+import time
+
+BENCH_DIR = os.path.dirname(os.path.abspath(__file__))
+SRC_DIR = os.path.join(os.path.dirname(BENCH_DIR), "src")
+
+
+def bench_files(match: str = "") -> list:
+    files = sorted(
+        os.path.basename(f) for f in glob.glob(os.path.join(BENCH_DIR, "bench_*.py"))
+    )
+    return [f for f in files if match in f]
+
+
+def run_one(fname: str, timed: bool) -> dict:
+    env = os.environ.copy()
+    env["PYTHONPATH"] = SRC_DIR + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+    cmd = [sys.executable, "-m", "pytest", fname, "-q", "-p", "no:cacheprovider"]
+    if timed:
+        # timed runs are assumed quiet enough to enforce speedup floors
+        env.setdefault("REPRO_PERF_STRICT", "1")
+    else:
+        cmd.append("--benchmark-disable")
+    t0 = time.perf_counter()
+    proc = subprocess.run(
+        cmd, cwd=BENCH_DIR, env=env, capture_output=True, text=True
+    )
+    seconds = time.perf_counter() - t0
+    tail = []
+    if proc.returncode:
+        # stderr first: a subprocess that dies before pytest reporting
+        # (usage error, missing plugin) only says why there
+        tail = proc.stderr.strip().splitlines()[-10:]
+        tail += proc.stdout.strip().splitlines()[-15:]
+    return {
+        "file": fname,
+        "returncode": proc.returncode,
+        "seconds": round(seconds, 3),
+        "tail": tail,
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--timed",
+        action="store_true",
+        help="run full pytest-benchmark timing rounds (slower)",
+    )
+    parser.add_argument(
+        "--match",
+        default="",
+        help="only run bench files whose name contains this substring",
+    )
+    args = parser.parse_args(argv)
+
+    files = bench_files(args.match)
+    if not files:
+        print(f"no bench_*.py files match {args.match!r}", file=sys.stderr)
+        return 2
+
+    results = []
+    failed = 0
+    for fname in files:
+        res = run_one(fname, args.timed)
+        results.append(res)
+        status = "ok" if res["returncode"] == 0 else f"FAIL (rc={res['returncode']})"
+        print(f"  {fname:<42} {res['seconds']:>8.2f}s  {status}", flush=True)
+        if res["returncode"]:
+            failed += 1
+            for line in res["tail"]:
+                print(f"    | {line}")
+
+    sys.path.insert(0, BENCH_DIR)
+    from _harness import record_bench
+
+    record_bench(
+        "run_all",
+        {
+            "timed": args.timed,
+            "match": args.match,
+            "total": len(results),
+            "failed": failed,
+            "results": [
+                {k: r[k] for k in ("file", "returncode", "seconds")} for r in results
+            ],
+        },
+    )
+    print(f"\n{len(results) - failed}/{len(results)} benchmarks ok")
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,15 @@
+"""Shared configuration helpers for the cache subsystems."""
+
+from __future__ import annotations
+
+import os
+
+
+def env_int(name: str, default: int) -> int:
+    """Integer environment knob; non-numeric values fall back to the
+    default (invalid *values* like zero are rejected by the consumer,
+    which can point at the knob in its error message)."""
+    try:
+        return int(os.environ.get(name, default))
+    except ValueError:
+        return default

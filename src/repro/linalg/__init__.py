@@ -12,8 +12,19 @@ scratch over Python's arbitrary-precision integers and
 * kernel bases and the kernel set operations of Section 4;
 * linear Diophantine solvers and the ``X F = S`` equation of Lemma 2;
 * unimodular generation / completion / enumeration.
+
+The normal-form entry points are memoized on their hashable ``IntMat``
+arguments (:mod:`repro.linalg.cache`; inspect with :func:`cache_stats`,
+reset with :func:`clear_caches` — see PERFORMANCE.md).
 """
 
+from .cache import (
+    NormalFormCache,
+    cache_stats,
+    clear_caches,
+    get_cache,
+    memoize_normal_form,
+)
 from .diophantine import (
     DiophantineSolution,
     compatibility_condition,
@@ -66,6 +77,12 @@ __all__ = [
     "IntMat",
     "FracMat",
     "matrix_product",
+    # memoization
+    "NormalFormCache",
+    "memoize_normal_form",
+    "cache_stats",
+    "clear_caches",
+    "get_cache",
     # hermite
     "row_hnf",
     "right_hermite",

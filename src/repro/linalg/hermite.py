@@ -18,6 +18,7 @@ from __future__ import annotations
 from math import gcd
 from typing import List, Tuple
 
+from .cache import memoize_normal_form
 from .fracmat import FracMat
 from .intmat import IntMat
 
@@ -37,6 +38,7 @@ def _xgcd(a: int, b: int) -> Tuple[int, int, int]:
     return old_r, old_s, old_t
 
 
+@memoize_normal_form("unimodular_inverse")
 def unimodular_inverse(u: IntMat) -> IntMat:
     """Exact integer inverse of a unimodular matrix."""
     d = u.det()
@@ -93,6 +95,7 @@ def _row_negate(a: List[List[int]], u: List[List[int]], i: int) -> None:
 # classical (upper-triangular) row HNF — canonical form
 # ---------------------------------------------------------------------------
 
+@memoize_normal_form("row_hnf")
 def row_hnf(a_mat: IntMat) -> Tuple[IntMat, IntMat]:
     """Row-style Hermite normal form.
 
@@ -132,6 +135,7 @@ def row_hnf(a_mat: IntMat) -> Tuple[IntMat, IntMat]:
     return IntMat(u), IntMat(a)
 
 
+@memoize_normal_form("rank")
 def rank(a_mat: IntMat) -> int:
     """Rank of an integer matrix (computed exactly)."""
     return FracMat.from_int(a_mat).rank()
@@ -141,6 +145,7 @@ def rank(a_mat: IntMat) -> int:
 # the paper's right Hermite form: A = Q H, H lower triangular
 # ---------------------------------------------------------------------------
 
+@memoize_normal_form("right_hermite")
 def right_hermite(a_mat: IntMat) -> Tuple[IntMat, IntMat]:
     """Right Hermite form of the paper's Definition 1.
 

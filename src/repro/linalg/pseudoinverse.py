@@ -20,12 +20,14 @@ from __future__ import annotations
 
 from typing import List, Optional, Tuple
 
+from .cache import memoize_normal_form
 from .fracmat import FracMat
 from .intmat import IntMat
 from .kernels import left_kernel_basis
 from .smith import smith_normal_form
 
 
+@memoize_normal_form("right_pseudoinverse")
 def right_pseudoinverse(x_mat: IntMat) -> FracMat:
     """Moore–Penrose right inverse of a flat full-row-rank matrix."""
     u, v = x_mat.shape
@@ -36,6 +38,7 @@ def right_pseudoinverse(x_mat: IntMat) -> FracMat:
     return xf.T @ gram.inverse()
 
 
+@memoize_normal_form("left_pseudoinverse")
 def left_pseudoinverse(x_mat: IntMat) -> FracMat:
     """Moore–Penrose left inverse of a narrow full-column-rank matrix."""
     u, v = x_mat.shape
@@ -46,6 +49,7 @@ def left_pseudoinverse(x_mat: IntMat) -> FracMat:
     return gram.inverse() @ xf.T
 
 
+@memoize_normal_form("pseudoinverse")
 def pseudoinverse(x_mat: IntMat) -> FracMat:
     """The appropriate (pseudo-)inverse of a full-rank matrix:
     ordinary inverse if square, right inverse if flat, left if narrow."""
@@ -84,6 +88,7 @@ def _solve_integer_ax_eq_b(a_mat: IntMat, b_mat: IntMat) -> Optional[IntMat]:
     return v @ IntMat(y) if n > 0 else None
 
 
+@memoize_normal_form("integer_right_inverse")
 def integer_right_inverse(f_mat: IntMat) -> Optional[IntMat]:
     """An integer ``R`` with ``F R = Id`` for flat full-row-rank ``F``,
     or ``None`` when only rational right inverses exist (some invariant
@@ -94,6 +99,7 @@ def integer_right_inverse(f_mat: IntMat) -> Optional[IntMat]:
     return _solve_integer_ax_eq_b(f_mat, IntMat.identity(u))
 
 
+@memoize_normal_form("integer_left_inverse")
 def integer_left_inverse(f_mat: IntMat) -> Optional[IntMat]:
     """An integer ``G`` with ``G F = Id`` for narrow full-column-rank
     ``F``, or ``None`` when no integer left inverse exists."""
@@ -120,6 +126,7 @@ def left_inverse_family(f_mat: IntMat) -> Optional[Tuple[IntMat, List[IntMat]]]:
     return g0, left_kernel_basis(f_mat)
 
 
+@memoize_normal_form("best_left_inverse")
 def best_left_inverse(f_mat: IntMat) -> Optional[IntMat]:
     """An integer left inverse with small entries.
 

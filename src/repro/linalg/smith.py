@@ -12,6 +12,7 @@ from __future__ import annotations
 
 from typing import Tuple
 
+from .cache import memoize_normal_form
 from .intmat import IntMat
 
 
@@ -29,6 +30,7 @@ def _xgcd(a: int, b: int) -> Tuple[int, int, int]:
     return old_r, old_s, old_t
 
 
+@memoize_normal_form("smith_normal_form")
 def smith_normal_form(a_mat: IntMat) -> Tuple[IntMat, IntMat, IntMat]:
     """Compute ``(U, D, V)`` with ``U @ A @ V == D`` in Smith form.
 
@@ -155,6 +157,7 @@ def smith_normal_form(a_mat: IntMat) -> Tuple[IntMat, IntMat, IntMat]:
     return IntMat(u), IntMat(a), IntMat(v)
 
 
+@memoize_normal_form("invariant_factors")
 def invariant_factors(a_mat: IntMat) -> Tuple[int, ...]:
     """The non-zero invariant factors ``d_1 | d_2 | ...`` of ``A``."""
     _, d, _ = smith_normal_form(a_mat)

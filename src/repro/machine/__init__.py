@@ -1,6 +1,8 @@
 """DMPC machine models.
 
 * :mod:`~repro.machine.topology` — 2-D mesh, XY routing, messages;
+* :mod:`~repro.machine.routecache` — integer link ids and LRU-cached
+  NumPy route arrays (the vectorized core; see PERFORMANCE.md);
 * :mod:`~repro.machine.contention` — analytic link-contention timing;
 * :mod:`~repro.machine.eventsim` — event-driven store-and-forward
   simulator (cross-validation);
@@ -10,10 +12,30 @@
   :class:`CM5Model` presets.
 """
 
-from .contention import CostParams, PhaseReport, phase_time, phased_time, total_time
+from .contention import (
+    CostParams,
+    PhaseReport,
+    phase_time,
+    phase_time_python,
+    phased_time,
+    total_time,
+)
 from .eventsim import EventSimulator
 from .machines import CM5Model, ParagonModel, T3DModel
-from .topology3d import Mesh3D, Message3, affine_pattern_3d, phase_time_3d
+from .routecache import (
+    RouteCache,
+    RouteCache3D,
+    clear_route_caches,
+    route_cache_for,
+    route_cache_stats,
+)
+from .topology3d import (
+    Mesh3D,
+    Message3,
+    affine_pattern_3d,
+    phase_time_3d,
+    phase_time_3d_python,
+)
 from .patterns import (
     affine_pattern,
     broadcast_tree_phases,
@@ -32,9 +54,15 @@ __all__ = [
     "CostParams",
     "PhaseReport",
     "phase_time",
+    "phase_time_python",
     "phased_time",
     "total_time",
     "EventSimulator",
+    "RouteCache",
+    "RouteCache3D",
+    "route_cache_for",
+    "route_cache_stats",
+    "clear_route_caches",
     "ParagonModel",
     "CM5Model",
     "T3DModel",
@@ -42,6 +70,7 @@ __all__ = [
     "Message3",
     "affine_pattern_3d",
     "phase_time_3d",
+    "phase_time_3d_python",
     "translation_pattern",
     "affine_pattern",
     "coalesce",

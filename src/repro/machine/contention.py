@@ -15,6 +15,15 @@ This is the standard LogGP-flavoured bottleneck bound; it reproduces
 the phenomena the paper measures — serial conflicts on shared links —
 without modelling flit-level detail (the event-driven simulator in
 :mod:`repro.machine.eventsim` cross-checks it).
+
+:func:`phase_time` is vectorized: routes come from the per-mesh
+:class:`~repro.machine.routecache.RouteCache` as integer link-id
+arrays and the link-load accumulation is a single ``np.bincount`` over
+all messages of the phase.  The original per-element implementation is
+kept as :func:`phase_time_python` — it is the baseline the perf-core
+benchmark measures against, and a cross-check that vectorization
+changed nothing (the two are bit-identical; see
+``tests/machine/test_routecache.py``).
 """
 
 from __future__ import annotations
@@ -22,6 +31,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Iterable, List, Sequence
 
+from .routecache import max_link_load, route_cache_for
 from .topology import Link, Mesh2D, Message
 
 
@@ -60,9 +70,67 @@ class PhaseReport:
 
 
 def phase_time(
+    mesh: Mesh2D,
+    messages: Sequence[Message],
+    params: CostParams,
+    cache=None,
+) -> PhaseReport:
+    """Time for one phase of simultaneous messages on the mesh.
+
+    Vectorized: link loads accumulate by ``np.bincount`` over the
+    cached link-id arrays of all routes at once.  ``cache`` defaults to
+    the shared per-mesh :func:`~repro.machine.routecache.route_cache_for`
+    cache; pass an explicit one for isolation.
+    """
+    if cache is None:
+        cache = route_cache_for(mesh)
+    sender_msgs: Dict = {}
+    max_hops = 0
+    total_volume = 0
+    local = 0
+    remote = 0
+    id_arrays: List = []
+    sizes: List[int] = []
+    for m in messages:
+        if m.is_local:
+            local += 1
+            continue
+        remote += 1
+        total_volume += m.size
+        sender_msgs[m.src] = sender_msgs.get(m.src, 0) + 1
+        ids = cache.link_ids(m.src, m.dst)
+        n = ids.shape[0]
+        if n - 2 > max_hops:
+            max_hops = n - 2  # == mesh.hops(m.src, m.dst) by construction
+        id_arrays.append(ids)
+        sizes.append(m.size)
+    max_load = max_link_load(cache, id_arrays, sizes)
+    max_fanout = max(sender_msgs.values(), default=0)
+    time = (
+        params.alpha * max_fanout
+        + params.beta * max_load
+        + params.gamma * max_hops
+    )
+    return PhaseReport(
+        time=time,
+        max_link_load=max_load,
+        max_hops=max_hops,
+        max_msgs_per_sender=max_fanout,
+        total_messages=remote,
+        total_volume=total_volume,
+        local_messages=local,
+    )
+
+
+def phase_time_python(
     mesh: Mesh2D, messages: Sequence[Message], params: CostParams
 ) -> PhaseReport:
-    """Time for one phase of simultaneous messages on the mesh."""
+    """Pure-Python reference implementation of :func:`phase_time`.
+
+    Rebuilds every route as tuple links and probes a dict per link —
+    the pre-vectorization behaviour, kept as the perf-core baseline and
+    bit-identity cross-check.
+    """
     link_load: Dict[Link, int] = {}
     sender_msgs: Dict = {}
     max_hops = 0

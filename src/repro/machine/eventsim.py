@@ -16,25 +16,79 @@ irregular affine patterns slow on real wormhole meshes.
 
 Scheduling is greedy in (ready time, message order): a simple but
 deterministic arbitration, adequate for ordering comparisons.
+
+Hop count: ``hops`` is :meth:`~repro.machine.topology.Mesh2D.hops`
+(Manhattan distance), which for every remote pair equals
+``len(route) - 2`` — the route is exactly injection + one network link
+per hop + ejection.  An earlier revision derived hops from the route
+length with a defensive ``max(0, ...)`` clamp that could silently
+disagree with the mesh's definition; the two are now reconciled and
+asserted equal in ``tests/machine/test_routecache.py``.
+
+:meth:`EventSimulator.run` is vectorized: routes come from the
+per-mesh :class:`~repro.machine.routecache.RouteCache` as integer
+link-id arrays, and the per-link dict probes of the original become
+one array ``max`` plus one slice assignment per message over a dense
+``link_free`` vector.  The original is kept as
+:meth:`EventSimulator.run_python` — the perf-core baseline and a
+bit-identity cross-check.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import Dict, List, Sequence, Tuple
 
+import numpy as np
+
 from .contention import CostParams
+from .routecache import route_cache_for
 from .topology import Link, Mesh2D, Message
 
 
 class EventSimulator:
     """Simulate one communication phase; returns the makespan."""
 
-    def __init__(self, mesh: Mesh2D, params: CostParams):
+    def __init__(self, mesh: Mesh2D, params: CostParams, cache=None):
         self.mesh = mesh
         self.params = params
+        self._cache = cache
+
+    def _route_cache(self):
+        if self._cache is None:
+            self._cache = route_cache_for(self.mesh)
+        return self._cache
 
     def run(self, messages: Sequence[Message]) -> float:
+        cache = self._route_cache()
+        per_sender: Dict = {}
+        pending: List[Tuple[float, int, int, np.ndarray]] = []
+        alpha = self.params.alpha
+        for order, m in enumerate(messages):
+            if m.is_local:
+                continue
+            ids = cache.link_ids(m.src, m.dst)
+            k = per_sender.get(m.src, 0)
+            per_sender[m.src] = k + 1
+            pending.append((alpha * k, order, m.size, ids))
+        pending.sort(key=lambda t: (t[0], t[1]))
+        link_free = np.zeros(cache.num_links)
+        beta = self.params.beta
+        gamma = self.params.gamma
+        finish = 0.0
+        for ready, _order, size, ids in pending:
+            start = float(link_free[ids].max())
+            if ready > start:
+                start = ready
+            done = start + beta * size + gamma * (ids.shape[0] - 2)
+            link_free[ids] = done
+            if done > finish:
+                finish = done
+        return finish
+
+    def run_python(self, messages: Sequence[Message]) -> float:
+        """Pure-Python reference implementation of :meth:`run`
+        (per-link dict probes, routes rebuilt per message) — the
+        perf-core baseline; bit-identical to :meth:`run`."""
         link_free: Dict[Link, float] = {}
         per_sender: Dict = {}
         pending: List[Tuple[float, int, Message, Tuple[Link, ...]]] = []
@@ -46,13 +100,13 @@ class EventSimulator:
             per_sender[m.src] = k + 1
             ready = self.params.alpha * k
             pending.append((ready, order, m, route))
-        pending.sort()
+        pending.sort(key=lambda t: (t[0], t[1]))
         finish = 0.0
         for ready, _order, m, route in pending:
             start = ready
             for link in route:
                 start = max(start, link_free.get(link, 0.0))
-            hops = max(0, len(route) - 2)  # exclude inj/eje
+            hops = self.mesh.hops(m.src, m.dst)  # == len(route) - 2
             done = start + self.params.beta * m.size + self.params.gamma * hops
             for link in route:
                 link_free[link] = done

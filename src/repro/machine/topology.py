@@ -74,6 +74,18 @@ class Mesh2D:
         """Manhattan distance."""
         return abs(src[0] - dst[0]) + abs(src[1] - dst[1])
 
+    @staticmethod
+    def route_hops(route: List[Link]) -> int:
+        """Network hops of a route produced by :meth:`xy_route`.
+
+        Every remote route is injection + one ``net`` link per hop +
+        ejection, so this is ``len(route) - 2`` and always agrees with
+        :meth:`hops`; a local route (empty) has zero hops.  The
+        simulators rely on this invariant (it is asserted in the tests)
+        instead of clamping route lengths defensively.
+        """
+        return 0 if not route else len(route) - 2
+
 
 @dataclass(frozen=True)
 class Message:

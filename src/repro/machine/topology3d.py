@@ -13,6 +13,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Iterator, List, Sequence, Tuple
 
+from .routecache import max_link_load, route_cache_for
+
 Node3 = Tuple[int, int, int]
 Link = Tuple
 
@@ -47,6 +49,14 @@ class Mesh3D:
     def hops(self, src: Node3, dst: Node3) -> int:
         return sum(abs(a - b) for a, b in zip(src, dst))
 
+    @staticmethod
+    def route_hops(route: Sequence[Link]) -> int:
+        """Network hops of a route from :meth:`xyz_route`; equals
+        ``len(route) - 2`` for remote pairs and agrees with
+        :meth:`hops` (same invariant as
+        :meth:`~repro.machine.topology.Mesh2D.route_hops`)."""
+        return 0 if not route else len(route) - 2
+
     def xyz_route(self, src: Node3, dst: Node3) -> List[Link]:
         """Dimension-order route (last axis first, matching XY order on
         2-D meshes), with injection/ejection links."""
@@ -67,10 +77,43 @@ class Mesh3D:
         return links
 
 
-def phase_time_3d(mesh: Mesh3D, messages, params) -> float:
+def phase_time_3d(mesh: Mesh3D, messages, params, cache=None) -> float:
     """Analytic link-contention bound on a 3-D mesh (same structure as
     the 2-D model: start-up serialization per sender, bottleneck link,
-    pipeline latency)."""
+    pipeline latency).
+
+    Vectorized like :func:`~repro.machine.contention.phase_time`: routes
+    are cached link-id arrays and loads accumulate via the shared
+    :func:`~repro.machine.routecache.max_link_load` helper.
+    """
+    if cache is None:
+        cache = route_cache_for(mesh)
+    sender_msgs = {}
+    max_hops = 0
+    id_arrays = []
+    sizes = []
+    for m in messages:
+        if m.src == m.dst:
+            continue
+        sender_msgs[m.src] = sender_msgs.get(m.src, 0) + 1
+        ids = cache.link_ids(m.src, m.dst)
+        n = ids.shape[0]
+        if n - 2 > max_hops:
+            max_hops = n - 2  # == mesh.hops(m.src, m.dst) by construction
+        id_arrays.append(ids)
+        sizes.append(m.size)
+    max_load = max_link_load(cache, id_arrays, sizes)
+    max_fanout = max(sender_msgs.values(), default=0)
+    return (
+        params.alpha * max_fanout
+        + params.beta * max_load
+        + params.gamma * max_hops
+    )
+
+
+def phase_time_3d_python(mesh: Mesh3D, messages, params) -> float:
+    """Pure-Python reference implementation of :func:`phase_time_3d`
+    (per-link dict probes) — baseline and bit-identity cross-check."""
     link_load = {}
     sender_msgs = {}
     max_hops = 0
