@@ -1,0 +1,86 @@
+"""Campaign throughput: nests compiled + priced per second.
+
+Not a paper artefact — a subsystem health benchmark for
+:mod:`repro.campaign`: the default grid (generated workloads + the
+named corpus against Paragon and CM-5 models) must complete with **all
+tasks ok and zero error records** (the CI shape gate), resume must be a
+no-op on a completed run, and the measured throughput lands in
+``BENCH_campaign.json`` so the compile-rate trajectory is tracked
+per PR.
+"""
+
+import time
+
+from repro.campaign import (
+    CampaignConfig,
+    RunStore,
+    default_spec,
+    run_campaign,
+    summarize_results,
+)
+
+SEED = 0
+NESTS = 8
+JOBS = 2
+
+
+def _grid():
+    spec = default_spec(seed=SEED, nests=NESTS)
+    return spec, spec.expand()
+
+
+def test_campaign_default_grid_gate(tmp_path, benchmark):
+    """Shape gate + throughput measurement on the default grid."""
+    spec, tasks = _grid()
+    meta = {"spec_digest": spec.digest()}
+    out = str(tmp_path / "bench.jsonl")
+
+    # one measured run for the recorded throughput number (the
+    # benchmark fixture may add calibration rounds of its own below)
+    t0 = time.perf_counter()
+    outcome = run_campaign(tasks, out, CampaignConfig(jobs=JOBS), meta=meta)
+    wall = time.perf_counter() - t0
+
+    benchmark(
+        lambda: run_campaign(
+            tasks, out, CampaignConfig(jobs=JOBS), meta=meta
+        )
+    )
+
+    # --- the gate: every task completes, zero errors/timeouts ---------
+    assert outcome.ran == len(tasks)
+    assert outcome.ok == len(tasks)
+    assert outcome.errors == 0
+    assert outcome.timeouts == 0
+
+    # resume on a completed checkpoint is a no-op
+    again = run_campaign(tasks, out, resume=True, meta=meta)
+    assert again.ran == 0 and again.prior == len(tasks)
+
+    _, results = RunStore(out).load()
+    rows = summarize_results(results.values())
+    assert all(row["errors"] == 0 and row["timeouts"] == 0 for row in rows)
+    # the two-step heuristic should never *lose* to greedy step 1
+    assert all(
+        row["residuals"] <= row["baseline_residuals"] for row in rows
+    )
+
+    compile_seconds = sum(r.seconds for r in results.values())
+    from _harness import record_bench
+
+    record_bench(
+        "campaign",
+        {
+            "seed": SEED,
+            "generated_nests": NESTS,
+            "tasks": len(tasks),
+            "jobs": JOBS,
+            "wall_seconds": round(wall, 3),
+            "task_compile_seconds": round(compile_seconds, 3),
+            # each task is one full compile+price of one nest, so the
+            # two rates coincide on this grid
+            "tasks_per_second": round(len(tasks) / wall, 2),
+            "nests_compiled_per_second": round(len(tasks) / wall, 2),
+            "summary_rows": rows,
+        },
+    )

@@ -18,6 +18,14 @@ summary (per-file status and wall time) is always written.
 
 Exit status is nonzero iff any benchmark fails, so a shape-claim or
 speedup regression fails the pipeline.
+
+Registered subsystem gates (beyond the paper artefacts):
+
+* ``bench_perf_core.py`` — vectorized mesh core speedups (PERFORMANCE.md);
+* ``bench_campaign_throughput.py`` — the campaign subsystem's default
+  grid must complete with every task ok and zero error/timeout records,
+  resume must be a no-op on a completed checkpoint, and the measured
+  nests-compiled-per-second lands in ``BENCH_campaign.json``.
 """
 
 from __future__ import annotations

@@ -22,7 +22,9 @@ algebra), :mod:`repro.ir` (loop nests, dependences, schedules),
 heuristic), :mod:`repro.macrocomm` (Section 4 detectors),
 :mod:`repro.decomp` (Section 5 decompositions), :mod:`repro.distribution`
 (BLOCK/CYCLIC/grouped partition), :mod:`repro.machine` (mesh + fat-tree
-models), :mod:`repro.runtime` (executor), :mod:`repro.baselines`.
+models), :mod:`repro.runtime` (executor), :mod:`repro.baselines`,
+:mod:`repro.campaign` (generated workloads + parallel sweep runner
+with checkpoint/resume).
 """
 
 __version__ = "1.0.0"
@@ -32,6 +34,7 @@ from .driver import CompiledNest, compile_nest
 from . import (
     alignment,
     baselines,
+    campaign,
     decomp,
     distribution,
     ir,
@@ -51,6 +54,7 @@ __all__ = [
     "machine",
     "runtime",
     "baselines",
+    "campaign",
     "compile_nest",
     "CompiledNest",
     "__version__",

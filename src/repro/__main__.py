@@ -1,43 +1,116 @@
-"""Command-line driver: map a loop-nest source file and report.
+"""Command-line driver with two subcommands.
 
-Usage::
+``map`` (the default when the first argument is a nest file — the
+historical CLI) maps one loop-nest source file and reports::
 
     python -m repro NEST_FILE [--m 2] [--mesh 4x4] [--params N=6,M=6]
                     [--spmd] [--execute]
+    python -m repro map NEST_FILE [...]
 
-Reads the nest notation of :mod:`repro.ir.parser`, runs the two-step
-heuristic, prints the mapping summary, optionally emits the SPMD
-pseudo-program and prices an execution on a mesh model.
+``campaign`` orchestrates bulk experiments over generated + corpus
+workloads (see :mod:`repro.campaign`)::
+
+    python -m repro campaign run --seed 0 --nests 50 --jobs 4 \
+                                 --out runs/demo.jsonl
+    python -m repro campaign run --resume ...     # or: campaign resume
+    python -m repro campaign summarize runs/demo.jsonl
+
+Malformed arguments (bad ``--mesh``, bad ``--params``) produce a
+friendly message on stderr and exit code 2.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+from typing import Dict, List, Optional, Tuple
 
 
-def _parse_params(text: str):
-    out = {}
+class CliError(Exception):
+    """User-facing argument error: message + exit code 2."""
+
+
+def _parse_params(text: str) -> Dict[str, int]:
+    """Parse ``N=6,M=6`` size bindings."""
+    out: Dict[str, int] = {}
     if not text:
         return out
     for item in text.split(","):
-        key, _, val = item.partition("=")
-        out[key.strip()] = int(val)
+        key, sep, val = item.partition("=")
+        key = key.strip()
+        if not sep or not key:
+            raise CliError(
+                f"bad --params entry {item!r}: expected NAME=INT "
+                "(e.g. --params N=6,M=6)"
+            )
+        try:
+            out[key] = int(val)
+        except ValueError:
+            raise CliError(
+                f"bad --params value {val.strip()!r} for {key!r}: "
+                "expected an integer"
+            ) from None
     return out
 
 
-def main(argv=None) -> int:
+def _parse_mesh(text: str) -> Tuple[int, int]:
+    """Parse one ``PxQ`` mesh spec."""
+    p, sep, q = text.partition("x")
+    try:
+        if not sep:
+            raise ValueError
+        pi, qi = int(p), int(q)
+    except ValueError:
+        raise CliError(
+            f"bad --mesh {text!r}: expected PxQ with integer sides "
+            "(e.g. --mesh 4x4)"
+        ) from None
+    if pi <= 0 or qi <= 0:
+        raise CliError(f"bad --mesh {text!r}: sides must be positive")
+    return pi, qi
+
+
+def _parse_int(text: str, flag: str) -> int:
+    try:
+        return int(text)
+    except ValueError:
+        raise CliError(f"bad {flag} {text!r}: expected an integer") from None
+
+
+def _add_common_args(ap: argparse.ArgumentParser, campaign: bool = False) -> None:
+    """The arguments shared by ``map`` and ``campaign run/resume``.
+
+    ``campaign`` mode documents the comma-separated list forms
+    (``--mesh 4x4,8x8``); the parsing helpers are shared either way.
+    """
+    many = " (comma-separated list allowed)" if campaign else ""
+    ap.add_argument(
+        "--m", default="2", metavar="M",
+        help=f"virtual grid dimension{many} (default: 2)",
+    )
+    ap.add_argument(
+        "--mesh", default="4x4", metavar="PxQ",
+        help=f"physical mesh{many} (default: 4x4)",
+    )
+    ap.add_argument(
+        "--params", default="", metavar="N=6,M=6",
+        help="size bindings for domain enumeration",
+    )
+
+
+# ---------------------------------------------------------------------------
+# map — the historical single-nest CLI
+# ---------------------------------------------------------------------------
+
+
+def _map_parser() -> argparse.ArgumentParser:
     ap = argparse.ArgumentParser(
-        prog="python -m repro",
+        prog="python -m repro [map]",
         description="Map an affine loop nest (two-step heuristic of "
         "Dion, Randriamaro & Robert, IPPS'96).",
     )
     ap.add_argument("nest_file", help="loop-nest source file")
-    ap.add_argument("--m", type=int, default=2, help="virtual grid dimension")
-    ap.add_argument("--mesh", default="4x4", help="physical mesh PxQ")
-    ap.add_argument(
-        "--params", default="", help="size bindings, e.g. N=6,M=6"
-    )
+    _add_common_args(ap)
     ap.add_argument(
         "--outer-sequential",
         type=int,
@@ -50,7 +123,14 @@ def main(argv=None) -> int:
     ap.add_argument(
         "--execute", action="store_true", help="price the execution on the mesh"
     )
-    args = ap.parse_args(argv)
+    return ap
+
+
+def map_main(argv: List[str]) -> int:
+    args = _map_parser().parse_args(argv)
+    m = _parse_int(args.m, "--m")
+    mesh = _parse_mesh(args.mesh)
+    params = _parse_params(args.params)
 
     from .alignment import two_step_heuristic
     from .ir import outer_sequential_schedules, parse_nest
@@ -69,7 +149,7 @@ def main(argv=None) -> int:
     schedules = None
     if args.outer_sequential > 0:
         schedules = outer_sequential_schedules(nest, outer=args.outer_sequential)
-    result = two_step_heuristic(nest, m=args.m, schedules=schedules)
+    result = two_step_heuristic(nest, m=m, schedules=schedules)
     print(result.describe())
     print()
     print(format_mapping_summary(result))
@@ -84,14 +164,205 @@ def main(argv=None) -> int:
         from .machine import ParagonModel
         from .runtime import Folding, MappedProgram, execute
 
-        p, _, q = args.mesh.partition("x")
-        machine = ParagonModel(int(p), int(q))
-        params = _parse_params(args.params)
-        folding = Folding(mesh=machine.mesh, extent=4 * max(int(p), int(q)))
+        p, q = mesh
+        machine = ParagonModel(p, q)
+        folding = Folding(mesh=machine.mesh, extent=4 * max(p, q))
         program = MappedProgram(mapping=result, folding=folding, params=params)
         print()
         print(execute(program, machine).describe())
     return 0
+
+
+# ---------------------------------------------------------------------------
+# campaign — bulk sweeps with checkpoint/resume
+# ---------------------------------------------------------------------------
+
+
+def _campaign_parser() -> argparse.ArgumentParser:
+    ap = argparse.ArgumentParser(
+        prog="python -m repro campaign",
+        description="Run/resume/summarize mapping campaigns "
+        "(generated + corpus workloads, parallel sweep runner).",
+    )
+    sub = ap.add_subparsers(dest="cmd", required=True)
+
+    for cmd in ("run", "resume"):
+        p = sub.add_parser(
+            cmd,
+            help="execute a sweep grid"
+            if cmd == "run"
+            else "shorthand for: run --resume",
+        )
+        p.add_argument("--out", required=True, help="JSONL checkpoint/result file")
+        p.add_argument("--seed", type=int, default=0, help="generator seed")
+        p.add_argument(
+            "--nests", type=int, default=20,
+            help="number of generated workloads (default: 20)",
+        )
+        p.add_argument(
+            "--jobs", type=int, default=1, help="parallel worker processes"
+        )
+        _add_common_args(p, campaign=True)
+        p.add_argument(
+            "--machines", default="paragon,cm5",
+            help="machine models to sweep (default: paragon,cm5)",
+        )
+        p.add_argument(
+            "--rank-weights", choices=("on", "off", "both"), default="on",
+            help="heuristic knob: access-rank edge weights (default: on)",
+        )
+        p.add_argument(
+            "--no-corpus", action="store_true",
+            help="generated workloads only (skip the named corpus)",
+        )
+        p.add_argument(
+            "--timeout", type=float, default=None, metavar="SECS",
+            help="per-task wall-clock cap",
+        )
+        p.add_argument(
+            "--max-tasks", type=int, default=None, metavar="K",
+            help="stop after K new results (checkpoint stays resumable)",
+        )
+        p.add_argument(
+            "--resume", action="store_true",
+            help="continue from the checkpoint in --out",
+        )
+        p.add_argument(
+            "--retry-failed", action="store_true",
+            help="on resume, re-run tasks recorded as error/timeout",
+        )
+        p.add_argument(
+            "--force", action="store_true",
+            help="overwrite an existing --out without --resume",
+        )
+
+    s = sub.add_parser("summarize", help="aggregate a result file")
+    s.add_argument("results", help="JSONL file written by campaign run")
+    return ap
+
+
+def campaign_main(argv: List[str]) -> int:
+    args = _campaign_parser().parse_args(argv)
+
+    from .campaign import (
+        CampaignConfig,
+        CampaignSpecMismatch,
+        RunStore,
+        default_spec,
+        grid_digest,
+        run_campaign,
+        summarize_results,
+    )
+    from .report import format_campaign_summary
+
+    if args.cmd == "summarize":
+        store = RunStore(args.results)
+        meta, results = store.load()
+        if not meta and not results:
+            raise CliError(f"no campaign records in {args.results!r}")
+        if meta.get("_skipped_lines"):
+            print(
+                f"note: skipped {meta['_skipped_lines']} undecodable "
+                "line(s) (truncated checkpoint?)",
+                file=sys.stderr,
+            )
+        print(format_campaign_summary(summarize_results(results.values())))
+        return 0
+
+    resume = args.resume or args.cmd == "resume"
+    meshes = tuple(_parse_mesh(part) for part in args.mesh.split(","))
+    ms = tuple(_parse_int(part, "--m") for part in args.m.split(","))
+    machines = tuple(s.strip() for s in args.machines.split(",") if s.strip())
+    rank_weights = {
+        "on": (True,), "off": (False,), "both": (True, False),
+    }[args.rank_weights]
+    params = _parse_params(args.params) or None
+
+    import os
+
+    if os.path.exists(args.out) and not resume and not args.force:
+        raise CliError(
+            f"{args.out} already exists: pass --resume to continue it "
+            "or --force to overwrite"
+        )
+
+    try:
+        spec = default_spec(
+            seed=args.seed,
+            nests=args.nests,
+            include_corpus=not args.no_corpus,
+            machines=machines,
+            meshes=meshes,
+            ms=ms,
+            rank_weights=rank_weights,
+            params=params,
+        )
+        tasks = spec.expand()
+    except (ValueError, RuntimeError) as exc:
+        # ValueError: unknown machine / repeated grid cell; RuntimeError:
+        # generator stalled (e.g. bindings that reject every candidate)
+        raise CliError(str(exc)) from None
+    digest = grid_digest(tasks)
+    meta = {
+        "spec_digest": digest,
+        "seed": args.seed,
+        "nests": args.nests,
+        "machines": list(machines),
+        "meshes": [f"{p}x{q}" for p, q in meshes],
+        "m": list(ms),
+        "rank_weights": list(rank_weights),
+        "corpus": not args.no_corpus,
+    }
+    print(f"campaign grid: {len(tasks)} task(s), digest {digest}")
+
+    def progress(result):
+        if result.status != "ok":
+            print(
+                f"  [{result.status}] {result.workload} on {result.machine} "
+                f"{result.mesh[0]}x{result.mesh[1]}: {result.error}",
+                file=sys.stderr,
+            )
+
+    try:
+        outcome = run_campaign(
+            tasks,
+            args.out,
+            CampaignConfig(
+                jobs=args.jobs,
+                timeout=args.timeout,
+                max_tasks=args.max_tasks,
+                retry_failures=args.retry_failed,
+            ),
+            resume=resume,
+            meta=meta,
+            progress=progress,
+        )
+    except CampaignSpecMismatch as exc:
+        raise CliError(str(exc)) from None
+    print(outcome.describe())
+
+    _, results = RunStore(args.out).load()
+    print()
+    print(format_campaign_summary(summarize_results(results.values())))
+    return 0
+
+
+# ---------------------------------------------------------------------------
+# dispatch
+# ---------------------------------------------------------------------------
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    try:
+        if argv and argv[0] == "campaign":
+            return campaign_main(argv[1:])
+        if argv and argv[0] == "map":
+            argv = argv[1:]
+        return map_main(argv)
+    except CliError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":

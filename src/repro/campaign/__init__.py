@@ -1,0 +1,50 @@
+"""Experiment-orchestration subsystem: generated workloads, declarative
+sweep grids, a parallel checkpoint/resume runner and a JSONL result
+store.
+
+The campaign layer sits on top of the whole compilation pipeline
+(:func:`repro.compile_nest` down to the machine models) and evaluates
+the paper's two-step heuristic *in bulk*: thousands of nests x machine
+models x mesh sizes x heuristic knobs instead of one hand-written nest
+at a time.
+
+* :mod:`~repro.campaign.workloads` — seeded random nest generator +
+  named corpus (``repro.ir.examples`` and the ``examples/*.py`` kernels);
+* :mod:`~repro.campaign.sweep` — grid spec expansion with stable task ids;
+* :mod:`~repro.campaign.runner` — multiprocessing execution, per-task
+  error capture and timeouts, JSONL checkpoint/resume;
+* :mod:`~repro.campaign.store` — typed result records, tolerant JSONL
+  loading, aggregation into summary tables.
+
+CLI: ``python -m repro campaign run|resume|summarize``.
+"""
+
+from .runner import (
+    CampaignConfig,
+    CampaignOutcome,
+    CampaignSpecMismatch,
+    execute_task,
+    run_campaign,
+)
+from .store import RunStore, TaskResult, summarize_results
+from .sweep import MACHINES, SweepSpec, SweepTask, default_spec, grid_digest
+from .workloads import Workload, corpus, generate_workloads
+
+__all__ = [
+    "Workload",
+    "corpus",
+    "generate_workloads",
+    "SweepSpec",
+    "SweepTask",
+    "MACHINES",
+    "default_spec",
+    "grid_digest",
+    "CampaignConfig",
+    "CampaignOutcome",
+    "CampaignSpecMismatch",
+    "execute_task",
+    "run_campaign",
+    "RunStore",
+    "TaskResult",
+    "summarize_results",
+]

@@ -1,0 +1,276 @@
+"""Parallel campaign execution with JSONL checkpoint/resume.
+
+:func:`execute_task` compiles and prices one :class:`SweepTask` — the
+two-step heuristic *and* the greedy Feautrier baseline on the same
+machine model, so every record carries its heuristic-vs-baseline ratio.
+:func:`run_campaign` drives a task list through a multiprocessing pool
+(or inline for ``jobs=1``), appending each result to the
+:class:`~repro.campaign.store.RunStore` as it lands; killing the
+process at any point loses at most the in-flight tasks, and re-running
+with ``resume=True`` executes exactly the tasks whose results are not
+on disk yet.
+
+Per-task failures never abort the campaign: exceptions become
+``status="error"`` records, and a per-task wall-clock ``timeout``
+(SIGALRM-based, skipped on platforms without it) becomes
+``status="timeout"``.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import signal
+import time
+import traceback
+from dataclasses import dataclass
+from functools import partial
+from typing import Callable, Dict, List, Optional, Sequence
+
+from .store import RunStore, TaskResult
+from .sweep import SweepTask
+
+
+class CampaignSpecMismatch(RuntimeError):
+    """Resuming with a grid that does not match the checkpoint's."""
+
+
+class _TaskTimeout(Exception):
+    pass
+
+
+def _alarm_handler(signum, frame):
+    raise _TaskTimeout()
+
+
+def _execute_task_inner(task: SweepTask) -> TaskResult:
+    from ..alignment import optimize_residuals
+    from ..baselines import feautrier_align
+    from ..driver import compile_nest
+    from ..machine import CM5Model, ParagonModel
+    from ..runtime import MappedProgram, execute
+
+    wl = task.workload
+    nest = wl.resolve()
+    schedules = wl.resolve_schedules(nest)
+    params = dict(wl.params)
+    compiled = compile_nest(
+        nest,
+        m=task.m,
+        schedules=schedules,
+        params=params,
+        check_legality=wl.check_legality,
+        name=wl.name,
+        use_rank_weights=task.rank_weights,
+    )
+    p, q = task.mesh
+    machine = ParagonModel(p, q)
+    collectives = CM5Model(nodes=p * q) if task.machine == "cm5" else None
+    program = compiled.program(machine, params)
+    report = execute(program, machine, collectives=collectives)
+
+    baseline = optimize_residuals(
+        feautrier_align(nest, task.m),
+        compiled.schedules,
+        allow_rotations=False,
+    )
+    # same folding as the heuristic's program, so the two prices share
+    # the driver's folding policy by construction
+    base_program = MappedProgram(
+        mapping=baseline, folding=program.folding, params=params
+    )
+    base_report = execute(base_program, machine, collectives=collectives)
+
+    return TaskResult(
+        task_id=task.task_id,
+        workload=wl.name,
+        machine=task.machine,
+        mesh=task.mesh,
+        m=task.m,
+        rank_weights=task.rank_weights,
+        status="ok",
+        counts=compiled.mapping.counts(),
+        residuals=len(compiled.mapping.optimized),
+        total_time=report.total_time,
+        total_messages=report.total_messages,
+        total_volume=report.total_volume,
+        baseline_residuals=len(baseline.optimized),
+        baseline_time=base_report.total_time,
+    )
+
+
+def execute_task(task: SweepTask, timeout: Optional[float] = None) -> TaskResult:
+    """Run one task with error capture and an optional wall-clock cap.
+
+    Never raises for task-level failures — compile errors, illegal
+    schedules, pricing blowups all come back as ``status="error"``
+    records so one bad grid cell cannot sink a campaign.
+    """
+    t0 = time.perf_counter()
+    use_alarm = timeout is not None and hasattr(signal, "SIGALRM")
+    old_handler = None
+    if use_alarm:
+        old_handler = signal.signal(signal.SIGALRM, _alarm_handler)
+        signal.setitimer(signal.ITIMER_REAL, timeout)
+    try:
+        # disarm in an inner finally so an alarm that fires *between*
+        # the task finishing and the disarm still lands inside this
+        # try and is absorbed as a timeout, never escaping the runner
+        try:
+            result = _execute_task_inner(task)
+        finally:
+            if use_alarm:
+                signal.setitimer(signal.ITIMER_REAL, 0)
+    except _TaskTimeout:
+        result = _failure_result(task, "timeout", f"task exceeded {timeout}s")
+    except Exception as exc:
+        tail = traceback.format_exc().strip().splitlines()[-3:]
+        result = _failure_result(
+            task, "error", f"{type(exc).__name__}: {exc} | " + " / ".join(tail)
+        )
+    finally:
+        if use_alarm:
+            signal.signal(signal.SIGALRM, old_handler)
+    result.seconds = time.perf_counter() - t0
+    return result
+
+
+def _failure_result(task: SweepTask, status: str, message: str) -> TaskResult:
+    return TaskResult(
+        task_id=task.task_id,
+        workload=task.workload.name,
+        machine=task.machine,
+        mesh=task.mesh,
+        m=task.m,
+        rank_weights=task.rank_weights,
+        status=status,
+        error=message,
+    )
+
+
+@dataclass
+class CampaignConfig:
+    """Execution knobs of one ``run_campaign`` invocation."""
+
+    jobs: int = 1
+    timeout: Optional[float] = None
+    #: stop after this many *new* results (test/CI hook simulating an
+    #: interrupted campaign; the checkpoint stays resumable)
+    max_tasks: Optional[int] = None
+    #: on resume, re-run tasks whose stored record is error/timeout
+    #: (by default failures count as done and are never retried)
+    retry_failures: bool = False
+
+
+@dataclass
+class CampaignOutcome:
+    """What one invocation did (see the store for the full results)."""
+
+    path: str
+    total: int
+    prior: int
+    ran: int
+    ok: int
+    errors: int
+    timeouts: int
+    remaining: int
+
+    def describe(self) -> str:
+        bits = [
+            f"{self.ran} task(s) run ({self.ok} ok, {self.errors} error, "
+            f"{self.timeouts} timeout), {self.prior} restored from checkpoint"
+        ]
+        if self.remaining:
+            bits.append(f"{self.remaining} still pending (resume to finish)")
+        return f"campaign {self.path}: " + "; ".join(bits)
+
+
+def run_campaign(
+    tasks: Sequence[SweepTask],
+    out_path: str,
+    config: Optional[CampaignConfig] = None,
+    resume: bool = False,
+    meta: Optional[Dict] = None,
+    progress: Optional[Callable[[TaskResult], None]] = None,
+) -> CampaignOutcome:
+    """Execute ``tasks``, checkpointing each result to ``out_path``.
+
+    ``resume=False`` starts a fresh run (the file is truncated);
+    ``resume=True`` loads the checkpoint, verifies the grid digest in
+    its meta record against ``meta["spec_digest"]`` (when both are
+    present) and runs only the tasks without a stored result.
+    """
+    config = config or CampaignConfig()
+    store = RunStore(out_path)
+    meta = dict(meta or {})
+    done: Dict[str, TaskResult] = {}
+
+    if resume:
+        store.repair_trailing_newline()
+        prev_meta, done = store.load()
+        prev_digest = prev_meta.get("spec_digest")
+        want = meta.get("spec_digest")
+        if prev_digest and want and prev_digest != want:
+            raise CampaignSpecMismatch(
+                f"checkpoint {out_path} was written for grid "
+                f"{prev_digest}, not {want}: re-run with the original "
+                "flags or start a fresh output file"
+            )
+        if not prev_meta and not done:
+            store.start(meta)
+        elif prev_digest is None and want:
+            # checkpoint lost its meta line (truncation leaves only a
+            # `_skipped_lines` marker): re-append it so the spec-digest
+            # guard holds for every later resume
+            store.append_meta(meta)
+        if config.retry_failures:
+            # dropped records re-run; their fresh result line supersedes
+            # the old one (the loader keeps the last record per task id)
+            done = {k: r for k, r in done.items() if r.status == "ok"}
+    else:
+        store.start(meta)
+
+    pending = [t for t in tasks if t.task_id not in done]
+    capped = (
+        pending[: config.max_tasks]
+        if config.max_tasks is not None
+        else pending
+    )
+
+    ran = ok = errors = timeouts = 0
+
+    def record(result: TaskResult) -> None:
+        nonlocal ran, ok, errors, timeouts
+        store.append(result)
+        ran += 1
+        if result.status == "ok":
+            ok += 1
+        elif result.status == "timeout":
+            timeouts += 1
+        else:
+            errors += 1
+        if progress is not None:
+            progress(result)
+
+    worker = partial(execute_task, timeout=config.timeout)
+    if config.jobs <= 1 or len(capped) <= 1:
+        for task in capped:
+            record(worker(task))
+    else:
+        try:
+            ctx = multiprocessing.get_context("fork")
+        except ValueError:  # platform without fork
+            ctx = multiprocessing.get_context()
+        with ctx.Pool(processes=config.jobs) as pool:
+            for result in pool.imap_unordered(worker, capped, chunksize=1):
+                record(result)
+
+    return CampaignOutcome(
+        path=out_path,
+        total=len(tasks),
+        prior=len(done),
+        ran=ran,
+        ok=ok,
+        errors=errors,
+        timeouts=timeouts,
+        remaining=len(pending) - len(capped),
+    )

@@ -1,0 +1,216 @@
+"""Typed campaign results and the JSONL run store.
+
+One campaign run is one JSONL file: a ``meta`` record first (grid
+digest, spec echo), then one ``result`` record per completed task,
+appended and flushed as tasks finish.  The loader is tolerant of a
+truncated final line — the expected state of a file whose writer was
+killed mid-record — so a resumed campaign picks up exactly the tasks
+whose results made it to disk.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import asdict, dataclass, field
+from typing import Dict, Iterable, List, Optional, Tuple
+
+#: classification keys aggregated by the summary (mapping counts)
+CLASS_KEYS = ("local", "translation", "macro", "decomposed", "general")
+
+
+@dataclass
+class TaskResult:
+    """Outcome of one sweep task.
+
+    Deterministic payload (everything the compiler and the machine
+    models computed) plus one wall-clock field, ``seconds``, which is
+    excluded from equality comparisons so an interrupted-and-resumed
+    campaign can be checked result-identical to an uninterrupted one.
+    """
+
+    task_id: str
+    workload: str
+    machine: str
+    mesh: Tuple[int, int]
+    m: int
+    rank_weights: bool
+    status: str  # "ok" | "error" | "timeout"
+    counts: Dict[str, int] = field(default_factory=dict)
+    residuals: int = 0
+    total_time: float = 0.0
+    total_messages: int = 0
+    total_volume: int = 0
+    baseline_residuals: int = 0
+    baseline_time: float = 0.0
+    error: Optional[str] = None
+    seconds: float = field(default=0.0, compare=False)
+
+    def deterministic_dict(self) -> Dict:
+        """The payload minus wall-clock timing (resume-equality basis)."""
+        d = self.to_dict()
+        d.pop("seconds", None)
+        return d
+
+    def to_dict(self) -> Dict:
+        d = asdict(self)
+        d["record"] = "result"
+        d["mesh"] = list(self.mesh)
+        return d
+
+    @staticmethod
+    def from_dict(d: Dict) -> "TaskResult":
+        return TaskResult(
+            task_id=d["task_id"],
+            workload=d["workload"],
+            machine=d["machine"],
+            mesh=tuple(d["mesh"]),
+            m=d["m"],
+            rank_weights=bool(d["rank_weights"]),
+            status=d["status"],
+            counts={k: int(v) for k, v in d.get("counts", {}).items()},
+            residuals=int(d.get("residuals", 0)),
+            total_time=float(d.get("total_time", 0.0)),
+            total_messages=int(d.get("total_messages", 0)),
+            total_volume=int(d.get("total_volume", 0)),
+            baseline_residuals=int(d.get("baseline_residuals", 0)),
+            baseline_time=float(d.get("baseline_time", 0.0)),
+            error=d.get("error"),
+            seconds=float(d.get("seconds", 0.0)),
+        )
+
+
+class RunStore:
+    """Append-only JSONL store for one campaign run."""
+
+    def __init__(self, path: str):
+        self.path = path
+
+    # -- writing --------------------------------------------------------
+
+    def start(self, meta: Dict) -> None:
+        """Create/truncate the file and write the meta record."""
+        parent = os.path.dirname(os.path.abspath(self.path))
+        os.makedirs(parent, exist_ok=True)
+        with open(self.path, "w") as fh:
+            fh.write(json.dumps({"record": "meta", **meta}, sort_keys=True))
+            fh.write("\n")
+
+    def append_meta(self, meta: Dict) -> None:
+        """Append a meta record without touching existing results (used
+        when a resumed checkpoint lost its original meta line; the
+        loader keeps the last meta record seen)."""
+        with open(self.path, "a") as fh:
+            fh.write(json.dumps({"record": "meta", **meta}, sort_keys=True))
+            fh.write("\n")
+
+    def repair_trailing_newline(self) -> None:
+        """Terminate a dangling half-record left by a killed writer.
+
+        Without this, the next ``append`` would concatenate onto the
+        truncated line and corrupt one more record; with it, the
+        partial line is isolated and skipped by :meth:`load`.
+        """
+        if not os.path.exists(self.path) or os.path.getsize(self.path) == 0:
+            return
+        with open(self.path, "rb+") as fh:
+            fh.seek(-1, os.SEEK_END)
+            if fh.read(1) != b"\n":
+                fh.write(b"\n")
+
+    def append(self, result: TaskResult) -> None:
+        """Append one result and flush — this *is* the checkpoint."""
+        with open(self.path, "a") as fh:
+            fh.write(json.dumps(result.to_dict(), sort_keys=True))
+            fh.write("\n")
+            fh.flush()
+            os.fsync(fh.fileno())
+
+    # -- reading --------------------------------------------------------
+
+    def load(self) -> Tuple[Dict, Dict[str, TaskResult]]:
+        """Meta record + results keyed by task id.
+
+        Undecodable lines (a record truncated by a kill) are skipped;
+        their count is reported under meta key ``_skipped_lines``.
+        """
+        meta: Dict = {}
+        results: Dict[str, TaskResult] = {}
+        skipped = 0
+        if not os.path.exists(self.path):
+            return meta, results
+        with open(self.path) as fh:
+            for line in fh:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    d = json.loads(line)
+                    if d.get("record") == "meta":
+                        meta = d
+                    else:
+                        r = TaskResult.from_dict(d)
+                        results[r.task_id] = r
+                except (ValueError, KeyError, TypeError):
+                    skipped += 1
+        if skipped:
+            meta = dict(meta)
+            meta["_skipped_lines"] = skipped
+        return meta, results
+
+    def completed_ids(self) -> List[str]:
+        _, results = self.load()
+        return sorted(results)
+
+
+# ---------------------------------------------------------------------------
+# Aggregation
+# ---------------------------------------------------------------------------
+
+
+def summarize_results(results: Iterable[TaskResult]) -> List[Dict]:
+    """Aggregate per (machine, mesh, m, rank_weights) group.
+
+    Each row reports task counts by status, the residual-communication
+    totals of the heuristic vs the greedy baseline, the classification
+    histogram of the heuristic's residuals and the mean
+    baseline/heuristic execution-time ratio (>= 1 means the two-step
+    heuristic won) over the tasks where both times are positive.
+    """
+    groups: Dict[Tuple, List[TaskResult]] = {}
+    for r in results:
+        key = (r.machine, r.mesh, r.m, r.rank_weights)
+        groups.setdefault(key, []).append(r)
+
+    rows: List[Dict] = []
+    for key in sorted(groups):
+        machine, mesh, m, rw = key
+        rs = groups[key]
+        ok = [r for r in rs if r.status == "ok"]
+        ratios = [
+            r.baseline_time / r.total_time
+            for r in ok
+            if r.total_time > 0 and r.baseline_time > 0
+        ]
+        row = {
+            "machine": machine,
+            "mesh": f"{mesh[0]}x{mesh[1]}",
+            "m": m,
+            "rank_weights": rw,
+            "tasks": len(rs),
+            "ok": len(ok),
+            "errors": sum(1 for r in rs if r.status == "error"),
+            "timeouts": sum(1 for r in rs if r.status == "timeout"),
+            "residuals": sum(r.residuals for r in ok),
+            "baseline_residuals": sum(r.baseline_residuals for r in ok),
+            # None (JSON null) rather than NaN, which json.dump would
+            # emit as a token strict parsers reject
+            "mean_time_ratio": (
+                sum(ratios) / len(ratios) if ratios else None
+            ),
+            "seconds": sum(r.seconds for r in rs),
+        }
+        for k in CLASS_KEYS:
+            row[k] = sum(r.counts.get(k, 0) for r in ok)
+        rows.append(row)
+    return rows

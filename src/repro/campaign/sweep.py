@@ -1,0 +1,138 @@
+"""Declarative sweep grids: nests x machines x meshes x heuristic knobs.
+
+A :class:`SweepSpec` is the campaign's experiment matrix; ``expand()``
+turns it into the flat list of :class:`SweepTask` records the runner
+consumes.  Every task carries a **stable id** — a SHA-1 digest of its
+canonical JSON spec — so a re-expanded grid matches the checkpoint of a
+previous (possibly interrupted) run record-for-record, which is what
+makes resume exact.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from .workloads import Workload, corpus, generate_workloads
+
+#: machine model names understood by the runner
+MACHINES = ("paragon", "cm5")
+
+
+def canonical_json(obj) -> str:
+    """Deterministic JSON used for task ids and spec digests."""
+    return json.dumps(obj, sort_keys=True, separators=(",", ":"))
+
+
+@dataclass
+class SweepTask:
+    """One (workload, machine, mesh, m, knobs) cell of the grid."""
+
+    task_id: str
+    workload: Workload
+    machine: str
+    mesh: Tuple[int, int]
+    m: int
+    rank_weights: bool
+
+    @staticmethod
+    def make(
+        workload: Workload,
+        machine: str,
+        mesh: Tuple[int, int],
+        m: int,
+        rank_weights: bool,
+    ) -> "SweepTask":
+        spec = {
+            "workload": workload.to_dict(),
+            "machine": machine,
+            "mesh": list(mesh),
+            "m": m,
+            "rank_weights": rank_weights,
+        }
+        digest = hashlib.sha1(canonical_json(spec).encode()).hexdigest()[:12]
+        return SweepTask(
+            task_id=digest,
+            workload=workload,
+            machine=machine,
+            mesh=tuple(mesh),
+            m=m,
+            rank_weights=rank_weights,
+        )
+
+
+@dataclass
+class SweepSpec:
+    """The experiment matrix of one campaign."""
+
+    workloads: List[Workload]
+    machines: Sequence[str] = ("paragon",)
+    meshes: Sequence[Tuple[int, int]] = ((4, 4),)
+    ms: Sequence[int] = (2,)
+    rank_weights: Sequence[bool] = (True,)
+
+    def __post_init__(self):
+        for name in self.machines:
+            if name not in MACHINES:
+                raise ValueError(
+                    f"unknown machine {name!r} (choose from {MACHINES})"
+                )
+
+    def expand(self) -> List[SweepTask]:
+        """The grid in deterministic row-major order."""
+        tasks = [
+            SweepTask.make(wl, machine, mesh, m, rw)
+            for wl in self.workloads
+            for machine in self.machines
+            for mesh in self.meshes
+            for m in self.ms
+            for rw in self.rank_weights
+        ]
+        seen: Dict[str, str] = {}
+        for t in tasks:
+            if t.task_id in seen:
+                raise ValueError(
+                    f"duplicate task id {t.task_id} "
+                    f"({seen[t.task_id]} vs {t.workload.name}): "
+                    "grid contains a repeated cell"
+                )
+            seen[t.task_id] = t.workload.name
+        return tasks
+
+    def digest(self) -> str:
+        """Digest of the whole expanded grid (stored in the run meta
+        record; a resume with different flags is refused)."""
+        return grid_digest(self.expand())
+
+
+def grid_digest(tasks: Sequence[SweepTask]) -> str:
+    """Digest of an already-expanded grid (avoids re-expanding when the
+    caller holds the task list)."""
+    ids = [t.task_id for t in tasks]
+    return hashlib.sha1(canonical_json(ids).encode()).hexdigest()[:12]
+
+
+def default_spec(
+    seed: int = 0,
+    nests: int = 20,
+    include_corpus: bool = True,
+    machines: Sequence[str] = ("paragon", "cm5"),
+    meshes: Sequence[Tuple[int, int]] = ((4, 4),),
+    ms: Sequence[int] = (2,),
+    rank_weights: Sequence[bool] = (True,),
+    params: Optional[Dict[str, int]] = None,
+) -> SweepSpec:
+    """The standard campaign grid: ``nests`` generated workloads (plus
+    the named corpus) against every machine x mesh x knob combination."""
+    workloads = generate_workloads(seed, nests, params=params)
+    if include_corpus:
+        workloads = corpus() + workloads
+    return SweepSpec(
+        workloads=workloads,
+        machines=machines,
+        meshes=meshes,
+        ms=ms,
+        rank_weights=rank_weights,
+    )

@@ -23,7 +23,7 @@ follows from the structure, not from fitting the paper's numbers.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import List, Optional, Sequence
 
 from .contention import CostParams, PhaseReport, phase_time, phased_time, total_time
@@ -37,7 +37,7 @@ class ParagonModel:
 
     p: int
     q: int
-    params: CostParams = CostParams()
+    params: CostParams = field(default_factory=CostParams)
 
     def __post_init__(self):
         self.mesh = Mesh2D(self.p, self.q)
@@ -90,7 +90,7 @@ class T3DModel:
     p: int
     q: int
     r: int
-    params: CostParams = CostParams()
+    params: CostParams = field(default_factory=CostParams)
 
     def __post_init__(self):
         from .topology3d import Mesh3D

@@ -335,6 +335,11 @@ def route_cache_for(mesh, maxsize: Optional[int] = None) -> _BaseRouteCache:
     else:
         cache = RouteCache(mesh, maxsize)
     _MESH_CACHES[mesh] = cache
+    if DEFAULT_MESH_CACHES <= 0:
+        raise ValueError(
+            "route cache registry size must be positive "
+            "(REPRO_ROUTE_CACHE_MESHES)"
+        )
     while len(_MESH_CACHES) > DEFAULT_MESH_CACHES:
         _MESH_CACHES.popitem(last=False)
     return cache

@@ -53,6 +53,32 @@ def format_mapping_summary(result) -> str:
     return "mapping: " + ", ".join(parts) + rot_txt
 
 
+def format_campaign_summary(rows: Sequence[Dict]) -> str:
+    """Aggregate table for a campaign run (rows from
+    :func:`repro.campaign.summarize_results`, one per machine x mesh x
+    m x rank-weights group)."""
+    if not rows:
+        return "campaign: no results"
+    headers = [
+        "machine", "mesh", "m", "rank_wt", "tasks", "ok", "err", "t/o",
+        "local", "transl", "macro", "decomp", "general",
+        "resid", "base_resid", "base/heur", "secs",
+    ]
+    table_rows = [
+        [
+            r["machine"], r["mesh"], r["m"],
+            "on" if r["rank_weights"] else "off",
+            r["tasks"], r["ok"], r["errors"], r["timeouts"],
+            r["local"], r["translation"], r["macro"], r["decomposed"],
+            r["general"], r["residuals"], r["baseline_residuals"],
+            "-" if r["mean_time_ratio"] is None else r["mean_time_ratio"],
+            r["seconds"],
+        ]
+        for r in rows
+    ]
+    return format_table(headers, table_rows, title="campaign summary")
+
+
 def _fmt(x) -> str:
     if isinstance(x, float):
         return f"{x:.2f}"

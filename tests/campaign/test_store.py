@@ -1,0 +1,124 @@
+"""JSONL store: append/load roundtrip, truncation tolerance, summary."""
+
+import json
+
+from repro.campaign import RunStore, TaskResult, summarize_results
+
+
+def _result(i, status="ok", machine="paragon"):
+    return TaskResult(
+        task_id=f"id{i:04d}",
+        workload=f"wl{i}",
+        machine=machine,
+        mesh=(4, 4),
+        m=2,
+        rank_weights=True,
+        status=status,
+        counts={"local": 2, "general": 1} if status == "ok" else {},
+        residuals=1 if status == "ok" else 0,
+        total_time=10.0 * (i + 1) if status == "ok" else 0.0,
+        total_messages=5,
+        total_volume=5,
+        baseline_residuals=2,
+        baseline_time=30.0 * (i + 1) if status == "ok" else 0.0,
+        error=None if status == "ok" else "boom",
+        seconds=0.5,
+    )
+
+
+class TestRunStore:
+    def test_roundtrip(self, tmp_path):
+        store = RunStore(str(tmp_path / "run.jsonl"))
+        store.start({"spec_digest": "abc"})
+        for i in range(3):
+            store.append(_result(i))
+        meta, results = store.load()
+        assert meta["spec_digest"] == "abc"
+        assert sorted(results) == ["id0000", "id0001", "id0002"]
+        assert results["id0001"] == _result(1)
+
+    def test_truncated_final_line_is_skipped(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        store = RunStore(str(path))
+        store.start({"spec_digest": "abc"})
+        store.append(_result(0))
+        store.append(_result(1))
+        # simulate a writer killed mid-record
+        text = path.read_text()
+        path.write_text(text + json.dumps(_result(2).to_dict())[: 40])
+        meta, results = store.load()
+        assert sorted(results) == ["id0000", "id0001"]
+        assert meta["_skipped_lines"] == 1
+
+    def test_json_valid_but_malformed_record_is_skipped(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        store = RunStore(str(path))
+        store.start({"spec_digest": "abc"})
+        store.append(_result(0))
+        bad = _result(1).to_dict()
+        bad["mesh"] = 7  # scalar where a pair belongs
+        with open(path, "a") as fh:
+            fh.write(json.dumps(bad) + "\n")
+        meta, results = store.load()
+        assert sorted(results) == ["id0000"]
+        assert meta["_skipped_lines"] == 1
+
+    def test_append_meta_restores_lost_header(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        store = RunStore(str(path))
+        store.start({"spec_digest": "abc"})
+        store.append(_result(0))
+        # drop the meta line, keep the result
+        lines = path.read_text().splitlines()
+        path.write_text("\n".join(lines[1:]) + "\n")
+        meta, _ = store.load()
+        assert "spec_digest" not in meta
+        store.append_meta({"spec_digest": "abc"})
+        meta, results = store.load()
+        assert meta["spec_digest"] == "abc"
+        assert sorted(results) == ["id0000"]
+
+    def test_load_missing_file(self, tmp_path):
+        meta, results = RunStore(str(tmp_path / "nope.jsonl")).load()
+        assert meta == {} and results == {}
+
+    def test_deterministic_dict_excludes_wall_clock(self):
+        a, b = _result(0), _result(0)
+        b.seconds = 99.0
+        assert a.deterministic_dict() == b.deterministic_dict()
+        assert a.to_dict() != b.to_dict()
+
+
+class TestSummarize:
+    def test_grouping_and_ratios(self):
+        results = [_result(0), _result(1), _result(2, status="error"),
+                   _result(3, machine="cm5")]
+        rows = summarize_results(results)
+        assert [r["machine"] for r in rows] == ["cm5", "paragon"]
+        paragon = rows[1]
+        assert paragon["tasks"] == 3
+        assert paragon["ok"] == 2
+        assert paragon["errors"] == 1
+        assert paragon["local"] == 4
+        assert paragon["general"] == 2
+        assert paragon["residuals"] == 2
+        assert paragon["baseline_residuals"] == 4
+        assert paragon["mean_time_ratio"] == 3.0
+
+    def test_all_failed_group_has_null_ratio_and_valid_json(self):
+        rows = summarize_results([_result(0, status="error")])
+        assert rows[0]["mean_time_ratio"] is None
+        # must stay strict-JSON-serializable (no NaN tokens in BENCH_*.json)
+        json.dumps(rows, allow_nan=False)
+
+        from repro.report import format_campaign_summary
+
+        assert "-" in format_campaign_summary(rows)
+
+    def test_formatting(self):
+        from repro.report import format_campaign_summary
+
+        text = format_campaign_summary(summarize_results([_result(0)]))
+        assert "campaign summary" in text
+        assert "paragon" in text
+        assert format_campaign_summary([]) == "campaign: no results"

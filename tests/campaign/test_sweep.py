@@ -1,0 +1,44 @@
+"""Grid expansion and stable task ids."""
+
+import pytest
+
+from repro.campaign import SweepSpec, SweepTask, default_spec, generate_workloads
+
+
+class TestSweepSpec:
+    def test_expansion_is_full_cross_product(self):
+        wls = generate_workloads(0, 3)
+        spec = SweepSpec(
+            workloads=wls,
+            machines=("paragon", "cm5"),
+            meshes=((2, 2), (4, 4)),
+            ms=(2,),
+            rank_weights=(True, False),
+        )
+        tasks = spec.expand()
+        assert len(tasks) == 3 * 2 * 2 * 1 * 2
+        assert len({t.task_id for t in tasks}) == len(tasks)
+
+    def test_ids_stable_across_expansions(self):
+        spec = default_spec(seed=1, nests=2)
+        a = [t.task_id for t in spec.expand()]
+        b = [t.task_id for t in default_spec(seed=1, nests=2).expand()]
+        assert a == b
+        assert spec.digest() == default_spec(seed=1, nests=2).digest()
+
+    def test_ids_change_with_any_knob(self):
+        wl = generate_workloads(0, 1)[0]
+        base = SweepTask.make(wl, "paragon", (4, 4), 2, True)
+        assert SweepTask.make(wl, "cm5", (4, 4), 2, True).task_id != base.task_id
+        assert SweepTask.make(wl, "paragon", (2, 8), 2, True).task_id != base.task_id
+        assert SweepTask.make(wl, "paragon", (4, 4), 3, True).task_id != base.task_id
+        assert SweepTask.make(wl, "paragon", (4, 4), 2, False).task_id != base.task_id
+
+    def test_unknown_machine_rejected(self):
+        with pytest.raises(ValueError):
+            SweepSpec(workloads=generate_workloads(0, 1), machines=("t3e",))
+
+    def test_digest_tracks_grid(self):
+        assert default_spec(seed=0, nests=2).digest() != default_spec(
+            seed=0, nests=3
+        ).digest()

@@ -52,3 +52,125 @@ class TestCli:
     def test_parse_params(self):
         assert _parse_params("N=4,M=7") == {"N": 4, "M": 7}
         assert _parse_params("") == {}
+
+    def test_explicit_map_subcommand_matches_default(self, nest_file, capsys):
+        assert main([nest_file]) == 0
+        implicit = capsys.readouterr().out
+        assert main(["map", nest_file]) == 0
+        explicit = capsys.readouterr().out
+        assert implicit == explicit
+
+
+class TestCliHardening:
+    """Malformed arguments exit 2 with a friendly message (shared
+    between the map and campaign subcommands)."""
+
+    def test_bad_mesh(self, nest_file, capsys):
+        assert main([nest_file, "--execute", "--mesh", "4"]) == 2
+        err = capsys.readouterr().err
+        assert "bad --mesh" in err and "PxQ" in err
+
+    def test_bad_mesh_nonnumeric(self, nest_file, capsys):
+        assert main([nest_file, "--mesh", "axb"]) == 2
+        assert "bad --mesh" in capsys.readouterr().err
+
+    def test_nonpositive_mesh(self, nest_file, capsys):
+        assert main([nest_file, "--mesh", "0x4"]) == 2
+        assert "positive" in capsys.readouterr().err
+
+    def test_bad_params_no_equals(self, nest_file, capsys):
+        assert main([nest_file, "--execute", "--params", "N"]) == 2
+        assert "bad --params" in capsys.readouterr().err
+
+    def test_bad_params_value(self, nest_file, capsys):
+        assert main([nest_file, "--execute", "--params", "N=three"]) == 2
+        assert "bad --params" in capsys.readouterr().err
+
+    def test_bad_m(self, nest_file, capsys):
+        assert main([nest_file, "--m", "two"]) == 2
+        assert "bad --m" in capsys.readouterr().err
+
+    def test_campaign_shares_parsers(self, tmp_path, capsys):
+        out = str(tmp_path / "r.jsonl")
+        assert main(["campaign", "run", "--out", out, "--mesh", "4"]) == 2
+        assert "bad --mesh" in capsys.readouterr().err
+        assert main(["campaign", "run", "--out", out, "--m", "x"]) == 2
+        assert "bad --m" in capsys.readouterr().err
+
+    def test_campaign_repeated_grid_cell(self, tmp_path, capsys):
+        out = str(tmp_path / "r.jsonl")
+        rc = main(
+            ["campaign", "run", "--out", out, "--nests", "1", "--no-corpus",
+             "--mesh", "4x4,4x4"]
+        )
+        assert rc == 2
+        assert "repeated cell" in capsys.readouterr().err
+
+
+class TestCampaignCli:
+    def _run(self, tmp_path, *extra):
+        out = str(tmp_path / "demo.jsonl")
+        args = [
+            "campaign", "run", "--seed", "0", "--nests", "2", "--no-corpus",
+            "--machines", "paragon", "--out", out,
+        ] + list(extra)
+        return out, main(args)
+
+    def test_run_and_summarize(self, tmp_path, capsys):
+        out, rc = self._run(tmp_path)
+        assert rc == 0
+        run_out = capsys.readouterr().out
+        assert "campaign grid:" in run_out
+        assert "campaign summary" in run_out
+
+        assert main(["campaign", "summarize", out]) == 0
+        text = capsys.readouterr().out
+        assert "campaign summary" in text
+        assert "paragon" in text
+
+    def test_refuses_to_clobber_without_resume(self, tmp_path, capsys):
+        out, rc = self._run(tmp_path)
+        assert rc == 0
+        capsys.readouterr()
+        _, rc2 = self._run(tmp_path)
+        assert rc2 == 2
+        assert "--resume" in capsys.readouterr().err
+
+    def test_interrupt_resume_matches_uninterrupted(self, tmp_path, capsys):
+        import json
+
+        full, rc = self._run(tmp_path)
+        assert rc == 0
+        part = str(tmp_path / "part.jsonl")
+        base = [
+            "campaign", "run", "--seed", "0", "--nests", "2", "--no-corpus",
+            "--machines", "paragon", "--out", part,
+        ]
+        assert main(base + ["--max-tasks", "1"]) == 0
+        assert main(base + ["--resume"]) == 0
+        capsys.readouterr()
+
+        def load(path):
+            out = {}
+            with open(path) as fh:
+                for line in fh:
+                    d = json.loads(line)
+                    if d.get("record") == "result":
+                        d.pop("seconds")
+                        out[d["task_id"]] = d
+            return out
+
+        assert load(full) == load(part)
+
+    def test_resume_subcommand(self, tmp_path, capsys):
+        part = str(tmp_path / "p.jsonl")
+        base = ["--seed", "0", "--nests", "2", "--no-corpus",
+                "--machines", "paragon", "--out", part]
+        assert main(["campaign", "run"] + base + ["--max-tasks", "1"]) == 0
+        assert main(["campaign", "resume"] + base) == 0
+        out = capsys.readouterr().out
+        assert "restored from checkpoint" in out
+
+    def test_summarize_missing_file(self, tmp_path, capsys):
+        assert main(["campaign", "summarize", str(tmp_path / "no.jsonl")]) == 2
+        assert "no campaign records" in capsys.readouterr().err
