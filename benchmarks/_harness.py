@@ -46,7 +46,7 @@ def series(label: str, xs: Sequence, ys: Sequence[float]) -> None:
     print(f"  {label}: {pairs}")
 
 
-def record_bench(name: str, stats: Mapping) -> str:
+def record_bench(name: str, stats: Mapping, section: str = "") -> str:
     """Persist one benchmark's measurements as ``BENCH_<name>.json``.
 
     The file lands next to the ``bench_*.py`` sources so the perf
@@ -55,16 +55,31 @@ def record_bench(name: str, stats: Mapping) -> str:
     stats as the ``stats()`` dicts of the caches involved).  A
     ``python``/``platform`` stamp is added so recorded numbers can be
     interpreted later.  Returns the path written.
+
+    ``section`` lets several bench files share one artifact: the stats
+    land under that key and the other top-level sections of an existing
+    file are preserved (``BENCH_campaign.json`` holds the 2-D and the
+    3-D campaign gates side by side this way).  Without ``section`` the
+    file is replaced wholesale.
     """
-    payload = dict(stats)
-    payload.setdefault(
-        "environment",
-        {
-            "python": sys.version.split()[0],
-            "platform": platform.platform(),
-        },
-    )
     path = os.path.join(os.path.dirname(os.path.abspath(__file__)), f"BENCH_{name}.json")
+    if section:
+        payload = {}
+        if os.path.exists(path):
+            try:
+                with open(path) as fh:
+                    prior = json.load(fh)
+                if isinstance(prior, dict):
+                    payload = prior
+            except ValueError:
+                pass  # corrupt artifact: rebuild from this section
+        payload[section] = dict(stats)
+    else:
+        payload = dict(stats)
+    payload["environment"] = {
+        "python": sys.version.split()[0],
+        "platform": platform.platform(),
+    }
     with open(path, "w") as fh:
         json.dump(payload, fh, indent=2, sort_keys=True, default=str)
         fh.write("\n")

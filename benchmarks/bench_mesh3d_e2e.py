@@ -1,12 +1,13 @@
-"""Campaign throughput: nests compiled + priced per second.
+"""End-to-end m = 3 campaign gate: the T3D backend through the whole
+pipeline.
 
-Not a paper artefact — a subsystem health benchmark for
-:mod:`repro.campaign`: the default grid (generated workloads + the
-named corpus against Paragon and CM-5 models) must complete with **all
-tasks ok and zero error records** (the CI shape gate), resume must be a
-no-op on a completed run, and the measured throughput lands in
-``BENCH_campaign.json`` so the compile-rate trajectory is tracked
-per PR.
+Not a paper artefact — the 3-D twin of the campaign shape gate in
+``bench_campaign_throughput.py``: a small m = 3 grid (generated
+workloads + the named corpus on a ``2x2x2`` cube against the ``t3d``
+registry machine) must complete with **all tasks ok and zero
+error/timeout records**, resume must be a no-op on a completed run, and
+the measured nests-compiled-per-second lands in ``BENCH_campaign.json``
+under the ``grid_3d`` section, alongside the 2-D entry.
 """
 
 import time
@@ -20,23 +21,28 @@ from repro.campaign import (
 )
 
 SEED = 0
-NESTS = 8
+NESTS = 4
 JOBS = 2
+MESH = (2, 2, 2)
 
 
 def _grid():
-    spec = default_spec(seed=SEED, nests=NESTS)
+    spec = default_spec(
+        seed=SEED,
+        nests=NESTS,
+        machines=("t3d",),
+        meshes=(MESH,),
+        ms=(3,),
+    )
     return spec, spec.expand()
 
 
-def test_campaign_default_grid_gate(tmp_path, benchmark):
-    """Shape gate + throughput measurement on the default grid."""
+def test_mesh3d_campaign_gate(tmp_path, benchmark):
+    """Shape gate + throughput measurement on the m = 3 grid."""
     spec, tasks = _grid()
     meta = {"spec_digest": spec.digest()}
-    out = str(tmp_path / "bench.jsonl")
+    out = str(tmp_path / "bench3d.jsonl")
 
-    # one measured run for the recorded throughput number (the
-    # benchmark fixture may add calibration rounds of its own below)
     t0 = time.perf_counter()
     outcome = run_campaign(tasks, out, CampaignConfig(jobs=JOBS), meta=meta)
     wall = time.perf_counter() - t0
@@ -60,6 +66,8 @@ def test_campaign_default_grid_gate(tmp_path, benchmark):
     _, results = RunStore(out).load()
     rows = summarize_results(results.values())
     assert all(row["errors"] == 0 and row["timeouts"] == 0 for row in rows)
+    assert all(row["machine"] == "t3d" and row["m"] == 3 for row in rows)
+    assert all(row["mesh"] == "2x2x2" for row in rows)
     # the two-step heuristic should never *lose* to greedy step 1
     assert all(
         row["residuals"] <= row["baseline_residuals"] for row in rows
@@ -68,22 +76,21 @@ def test_campaign_default_grid_gate(tmp_path, benchmark):
     compile_seconds = sum(r.seconds for r in results.values())
     from _harness import record_bench
 
-    # the 2-D entry of BENCH_campaign.json; bench_mesh3d_e2e.py records
-    # the 3-D (t3d) grid under "grid_3d" in the same artifact
     record_bench(
         "campaign",
         {
             "seed": SEED,
             "generated_nests": NESTS,
+            "machine": "t3d",
+            "mesh": "x".join(str(d) for d in MESH),
+            "m": 3,
             "tasks": len(tasks),
             "jobs": JOBS,
             "wall_seconds": round(wall, 3),
             "task_compile_seconds": round(compile_seconds, 3),
-            # each task is one full compile+price of one nest, so the
-            # two rates coincide on this grid
             "tasks_per_second": round(len(tasks) / wall, 2),
             "nests_compiled_per_second": round(len(tasks) / wall, 2),
             "summary_rows": rows,
         },
-        section="grid_2d",
+        section="grid_3d",
     )

@@ -25,7 +25,11 @@ Registered subsystem gates (beyond the paper artefacts):
 * ``bench_campaign_throughput.py`` — the campaign subsystem's default
   grid must complete with every task ok and zero error/timeout records,
   resume must be a no-op on a completed checkpoint, and the measured
-  nests-compiled-per-second lands in ``BENCH_campaign.json``.
+  nests-compiled-per-second lands in ``BENCH_campaign.json`` (section
+  ``grid_2d``);
+* ``bench_mesh3d_e2e.py`` — the same gate for the m = 3 path: a small
+  campaign grid against ``t3d`` on a ``2x2x2`` cube, recorded under
+  ``grid_3d`` in the same artifact.
 """
 
 from __future__ import annotations

@@ -15,8 +15,16 @@ workloads (see :mod:`repro.campaign`)::
     python -m repro campaign run --resume ...     # or: campaign resume
     python -m repro campaign summarize runs/demo.jsonl
 
-Malformed arguments (bad ``--mesh``, bad ``--params``) produce a
-friendly message on stderr and exit code 2.
+``--mesh`` accepts 2-D ``PxQ`` and 3-D ``PxQxR`` specs; machines come
+from the :mod:`repro.machine` registry (``paragon``/``cm5`` want 2-D
+meshes with ``--m 2``, ``t3d`` wants 3-D meshes with ``--m 3``), e.g.::
+
+    python -m repro campaign run --machines paragon,t3d \
+        --mesh 4x4,2x2x2 --m 2,3 --out runs/mixed.jsonl
+
+Malformed arguments (bad ``--mesh``, bad ``--params``, a mesh rank that
+cannot match ``--m``) produce a friendly message on stderr and exit
+code 2.
 """
 
 from __future__ import annotations
@@ -53,21 +61,21 @@ def _parse_params(text: str) -> Dict[str, int]:
     return out
 
 
-def _parse_mesh(text: str) -> Tuple[int, int]:
-    """Parse one ``PxQ`` mesh spec."""
-    p, sep, q = text.partition("x")
+def _parse_mesh(text: str) -> Tuple[int, ...]:
+    """Parse one ``PxQ`` / ``PxQxR`` mesh spec (any rank >= 2)."""
+    parts = text.split("x")
     try:
-        if not sep:
+        if len(parts) < 2:
             raise ValueError
-        pi, qi = int(p), int(q)
+        dims = tuple(int(p) for p in parts)
     except ValueError:
         raise CliError(
-            f"bad --mesh {text!r}: expected PxQ with integer sides "
-            "(e.g. --mesh 4x4)"
+            f"bad --mesh {text!r}: expected PxQ or PxQxR with integer "
+            "sides (e.g. --mesh 4x4 or --mesh 2x2x2)"
         ) from None
-    if pi <= 0 or qi <= 0:
+    if any(d <= 0 for d in dims):
         raise CliError(f"bad --mesh {text!r}: sides must be positive")
-    return pi, qi
+    return dims
 
 
 def _parse_int(text: str, flag: str) -> int:
@@ -89,8 +97,8 @@ def _add_common_args(ap: argparse.ArgumentParser, campaign: bool = False) -> Non
         help=f"virtual grid dimension{many} (default: 2)",
     )
     ap.add_argument(
-        "--mesh", default="4x4", metavar="PxQ",
-        help=f"physical mesh{many} (default: 4x4)",
+        "--mesh", default="4x4", metavar="PxQ[xR]",
+        help=f"physical mesh, 2-D PxQ or 3-D PxQxR{many} (default: 4x4)",
     )
     ap.add_argument(
         "--params", default="", metavar="N=6,M=6",
@@ -131,6 +139,12 @@ def map_main(argv: List[str]) -> int:
     m = _parse_int(args.m, "--m")
     mesh = _parse_mesh(args.mesh)
     params = _parse_params(args.params)
+    if args.execute and len(mesh) != m:
+        raise CliError(
+            f"--mesh {args.mesh} is {len(mesh)}-D but --m is {m}: the "
+            "virtual grid dimension must match the mesh rank (pass "
+            f"--m {len(mesh)}, or a {m}-D mesh)"
+        )
 
     from .alignment import two_step_heuristic
     from .ir import outer_sequential_schedules, parse_nest
@@ -161,12 +175,14 @@ def map_main(argv: List[str]) -> int:
         print(generate_spmd(result))
 
     if args.execute:
-        from .machine import ParagonModel
+        from .machine import machine_for_mesh
         from .runtime import Folding, MappedProgram, execute
 
-        p, q = mesh
-        machine = ParagonModel(p, q)
-        folding = Folding(mesh=machine.mesh, extent=4 * max(p, q))
+        try:
+            machine = machine_for_mesh(mesh).make(mesh)
+        except ValueError as exc:
+            raise CliError(str(exc)) from None
+        folding = Folding(mesh=machine.mesh, extent=4 * max(mesh))
         program = MappedProgram(mapping=result, folding=folding, params=params)
         print()
         print(execute(program, machine).describe())
@@ -205,7 +221,8 @@ def _campaign_parser() -> argparse.ArgumentParser:
         _add_common_args(p, campaign=True)
         p.add_argument(
             "--machines", default="paragon,cm5",
-            help="machine models to sweep (default: paragon,cm5)",
+            help="machine models to sweep, from the machine registry "
+            "(e.g. paragon,cm5,t3d; default: paragon,cm5)",
         )
         p.add_argument(
             "--rank-weights", choices=("on", "off", "both"), default="on",
@@ -253,7 +270,7 @@ def campaign_main(argv: List[str]) -> int:
         run_campaign,
         summarize_results,
     )
-    from .report import format_campaign_summary
+    from .report import format_campaign_summary, format_mesh
 
     if args.cmd == "summarize":
         store = RunStore(args.results)
@@ -308,7 +325,7 @@ def campaign_main(argv: List[str]) -> int:
         "seed": args.seed,
         "nests": args.nests,
         "machines": list(machines),
-        "meshes": [f"{p}x{q}" for p, q in meshes],
+        "meshes": [format_mesh(mm) for mm in meshes],
         "m": list(ms),
         "rank_weights": list(rank_weights),
         "corpus": not args.no_corpus,
@@ -319,7 +336,7 @@ def campaign_main(argv: List[str]) -> int:
         if result.status != "ok":
             print(
                 f"  [{result.status}] {result.workload} on {result.machine} "
-                f"{result.mesh[0]}x{result.mesh[1]}: {result.error}",
+                f"{format_mesh(result.mesh)}: {result.error}",
                 file=sys.stderr,
             )
 

@@ -46,7 +46,7 @@ def _execute_task_inner(task: SweepTask) -> TaskResult:
     from ..alignment import optimize_residuals
     from ..baselines import feautrier_align
     from ..driver import compile_nest
-    from ..machine import CM5Model, ParagonModel
+    from ..machine import machine_spec
     from ..runtime import MappedProgram, execute
 
     wl = task.workload
@@ -62,9 +62,9 @@ def _execute_task_inner(task: SweepTask) -> TaskResult:
         name=wl.name,
         use_rank_weights=task.rank_weights,
     )
-    p, q = task.mesh
-    machine = ParagonModel(p, q)
-    collectives = CM5Model(nodes=p * q) if task.machine == "cm5" else None
+    spec = machine_spec(task.machine)
+    machine = spec.make(task.mesh)
+    collectives = spec.make_collectives(task.mesh)
     program = compiled.program(machine, params)
     report = execute(program, machine, collectives=collectives)
 

@@ -15,6 +15,8 @@ import os
 from dataclasses import asdict, dataclass, field
 from typing import Dict, Iterable, List, Optional, Tuple
 
+from ..report import format_mesh
+
 #: classification keys aggregated by the summary (mapping counts)
 CLASS_KEYS = ("local", "translation", "macro", "decomposed", "general")
 
@@ -32,7 +34,7 @@ class TaskResult:
     task_id: str
     workload: str
     machine: str
-    mesh: Tuple[int, int]
+    mesh: Tuple[int, ...]
     m: int
     rank_weights: bool
     status: str  # "ok" | "error" | "timeout"
@@ -194,7 +196,7 @@ def summarize_results(results: Iterable[TaskResult]) -> List[Dict]:
         ]
         row = {
             "machine": machine,
-            "mesh": f"{mesh[0]}x{mesh[1]}",
+            "mesh": format_mesh(mesh),
             "m": m,
             "rank_weights": rw,
             "tasks": len(rs),

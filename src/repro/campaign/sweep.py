@@ -6,6 +6,15 @@ consumes.  Every task carries a **stable id** — a SHA-1 digest of its
 canonical JSON spec — so a re-expanded grid matches the checkpoint of a
 previous (possibly interrupted) run record-for-record, which is what
 makes resume exact.
+
+Machine names come from the :mod:`repro.machine.model` registry
+(``paragon`` / ``cm5`` / ``t3d``), so the grid may mix mesh ranks:
+``expand()`` keeps exactly the *compatible* cells — those where the
+machine's mesh rank, the mesh spec's rank and the virtual grid
+dimension ``m`` agree — letting one campaign sweep ``4x4`` meshes at
+``m = 2`` against Paragon/CM-5 and ``2x2x2`` cubes at ``m = 3``
+against the T3D side by side.  A grid with no compatible cell at all
+is refused with a friendly error.
 """
 
 from __future__ import annotations
@@ -15,10 +24,13 @@ import json
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from ..machine import machine_names, machine_spec
 from .workloads import Workload, corpus, generate_workloads
 
-#: machine model names understood by the runner
-MACHINES = ("paragon", "cm5")
+#: machine model names understood by the runner (mirrors the registry
+#: state at import; use :func:`repro.machine.machine_names` for the
+#: live list)
+MACHINES = machine_names()
 
 
 def canonical_json(obj) -> str:
@@ -33,7 +45,7 @@ class SweepTask:
     task_id: str
     workload: Workload
     machine: str
-    mesh: Tuple[int, int]
+    mesh: Tuple[int, ...]
     m: int
     rank_weights: bool
 
@@ -41,7 +53,7 @@ class SweepTask:
     def make(
         workload: Workload,
         machine: str,
-        mesh: Tuple[int, int],
+        mesh: Tuple[int, ...],
         m: int,
         rank_weights: bool,
     ) -> "SweepTask":
@@ -69,19 +81,25 @@ class SweepSpec:
 
     workloads: List[Workload]
     machines: Sequence[str] = ("paragon",)
-    meshes: Sequence[Tuple[int, int]] = ((4, 4),)
+    meshes: Sequence[Tuple[int, ...]] = ((4, 4),)
     ms: Sequence[int] = (2,)
     rank_weights: Sequence[bool] = (True,)
 
     def __post_init__(self):
         for name in self.machines:
-            if name not in MACHINES:
-                raise ValueError(
-                    f"unknown machine {name!r} (choose from {MACHINES})"
-                )
+            machine_spec(name)  # raises a friendly ValueError if unknown
 
     def expand(self) -> List[SweepTask]:
-        """The grid in deterministic row-major order."""
+        """The compatible cells of the grid in deterministic row-major
+        order.
+
+        A cell is compatible when the machine's mesh rank, the mesh
+        spec's rank and the virtual grid dimension ``m`` all agree —
+        mixed-rank grids (``--mesh 4x4,2x2x2 --m 2,3``) expand to
+        exactly the cells that can execute.  An entirely incompatible
+        grid raises a friendly ``ValueError``.
+        """
+        ranks = {name: machine_spec(name).mesh_rank for name in self.machines}
         tasks = [
             SweepTask.make(wl, machine, mesh, m, rw)
             for wl in self.workloads
@@ -89,7 +107,19 @@ class SweepSpec:
             for mesh in self.meshes
             for m in self.ms
             for rw in self.rank_weights
+            if ranks[machine] == len(mesh) == m
         ]
+        if not tasks and self.workloads:
+            cells = [
+                f"{name} (mesh rank {rank})" for name, rank in ranks.items()
+            ]
+            raise ValueError(
+                "empty sweep grid: no (machine, mesh, m) cell is "
+                "compatible — each machine needs mesh rank == m "
+                f"(machines: {', '.join(cells)}; meshes: "
+                f"{list(len(mm) for mm in self.meshes)}-D; m: "
+                f"{list(self.ms)})"
+            )
         seen: Dict[str, str] = {}
         for t in tasks:
             if t.task_id in seen:
@@ -119,13 +149,14 @@ def default_spec(
     nests: int = 20,
     include_corpus: bool = True,
     machines: Sequence[str] = ("paragon", "cm5"),
-    meshes: Sequence[Tuple[int, int]] = ((4, 4),),
+    meshes: Sequence[Tuple[int, ...]] = ((4, 4),),
     ms: Sequence[int] = (2,),
     rank_weights: Sequence[bool] = (True,),
     params: Optional[Dict[str, int]] = None,
 ) -> SweepSpec:
     """The standard campaign grid: ``nests`` generated workloads (plus
-    the named corpus) against every machine x mesh x knob combination."""
+    the named corpus) against every compatible machine x mesh x knob
+    combination."""
     workloads = generate_workloads(seed, nests, params=params)
     if include_corpus:
         workloads = corpus() + workloads

@@ -20,7 +20,7 @@ from .ir import (
     parse_nest,
     schedule_is_legal,
 )
-from .machine import ParagonModel
+from .machine import MachineModel
 from .runtime import CommReport, Folding, MappedProgram, execute
 
 
@@ -35,22 +35,27 @@ class CompiledNest:
 
     def program(
         self,
-        machine: ParagonModel,
+        machine: MachineModel,
         params: Dict[str, int],
         extent: Optional[int] = None,
         **folding_kw,
     ) -> MappedProgram:
-        """Fold onto ``machine``'s mesh and build an executable program."""
+        """Fold onto ``machine``'s mesh and build an executable program.
+
+        ``machine`` may be any registered machine model; the mesh rank
+        must equal the ``m`` this nest was compiled with (a mismatch
+        raises a friendly ``ValueError``).
+        """
         folding = Folding(
             mesh=machine.mesh,
-            extent=extent or 4 * max(machine.p, machine.q),
+            extent=extent or 4 * max(machine.mesh.dims),
             **folding_kw,
         )
         return MappedProgram(mapping=self.mapping, folding=folding, params=params)
 
     def run(
         self,
-        machine: ParagonModel,
+        machine: MachineModel,
         params: Dict[str, int],
         collectives=None,
         **kw,
@@ -81,7 +86,8 @@ def compile_nest(
         Nest source text (see :mod:`repro.ir.parser`) or an existing
         :class:`~repro.ir.LoopNest`.
     m:
-        Target virtual grid dimension.
+        Target virtual grid dimension; to execute the result, pick the
+        rank of the machine's mesh (2 for Paragon/CM-5, 3 for T3D).
     schedules:
         Optional explicit schedules; inferred from the dependences when
         omitted (``params`` bounds the inference domains, default small).

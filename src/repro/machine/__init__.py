@@ -1,15 +1,20 @@
 """DMPC machine models.
 
-* :mod:`~repro.machine.topology` — 2-D mesh, XY routing, messages;
+* :mod:`~repro.machine.topology` / :mod:`~repro.machine.topology3d` —
+  2-D and 3-D meshes, dimension-order routing, messages (endpoints are
+  coordinate tuples of the mesh rank);
 * :mod:`~repro.machine.routecache` — integer link ids and LRU-cached
   NumPy route arrays (the vectorized core; see PERFORMANCE.md);
-* :mod:`~repro.machine.contention` — analytic link-contention timing;
+* :mod:`~repro.machine.contention` — analytic link-contention timing,
+  rank-generic over the route caches;
 * :mod:`~repro.machine.eventsim` — event-driven store-and-forward
-  simulator (cross-validation);
+  simulator (cross-validation), rank-generic;
 * :mod:`~repro.machine.patterns` — translation / affine / decomposed /
   broadcast / reduction message generators;
-* :mod:`~repro.machine.machines` — :class:`ParagonModel` and
-  :class:`CM5Model` presets.
+* :mod:`~repro.machine.model` — the :class:`MachineModel` protocol and
+  the name→factory registry (``paragon`` / ``cm5`` / ``t3d``);
+* :mod:`~repro.machine.machines` — :class:`ParagonModel`,
+  :class:`T3DModel` and :class:`CM5Model` presets.
 """
 
 from .contention import (
@@ -21,6 +26,15 @@ from .contention import (
     total_time,
 )
 from .eventsim import EventSimulator
+from .model import (
+    MachineModel,
+    MachineSpec,
+    machine_for_mesh,
+    machine_names,
+    machine_spec,
+    make_machine,
+    register_machine,
+)
 from .machines import CM5Model, ParagonModel, T3DModel
 from .routecache import (
     RouteCache,
@@ -58,6 +72,13 @@ __all__ = [
     "phased_time",
     "total_time",
     "EventSimulator",
+    "MachineModel",
+    "MachineSpec",
+    "machine_for_mesh",
+    "machine_names",
+    "machine_spec",
+    "make_machine",
+    "register_machine",
     "RouteCache",
     "RouteCache3D",
     "route_cache_for",

@@ -70,17 +70,21 @@ class PhaseReport:
 
 
 def phase_time(
-    mesh: Mesh2D,
+    mesh,
     messages: Sequence[Message],
     params: CostParams,
     cache=None,
 ) -> PhaseReport:
     """Time for one phase of simultaneous messages on the mesh.
 
-    Vectorized: link loads accumulate by ``np.bincount`` over the
-    cached link-id arrays of all routes at once.  ``cache`` defaults to
-    the shared per-mesh :func:`~repro.machine.routecache.route_cache_for`
-    cache; pass an explicit one for isolation.
+    Rank-generic: ``mesh`` may be any mesh with a route cache
+    (:class:`~repro.machine.topology.Mesh2D`,
+    :class:`~repro.machine.topology3d.Mesh3D`); message endpoints are
+    coordinate tuples of the matching rank.  Vectorized: link loads
+    accumulate by ``np.bincount`` over the cached link-id arrays of all
+    routes at once.  ``cache`` defaults to the shared per-mesh
+    :func:`~repro.machine.routecache.route_cache_for` cache; pass an
+    explicit one for isolation.
     """
     if cache is None:
         cache = route_cache_for(mesh)
@@ -92,7 +96,7 @@ def phase_time(
     id_arrays: List = []
     sizes: List[int] = []
     for m in messages:
-        if m.is_local:
+        if m.src == m.dst:
             local += 1
             continue
         remote += 1
@@ -166,12 +170,13 @@ def phase_time_python(
 
 
 def phased_time(
-    mesh: Mesh2D,
+    mesh,
     phases: Iterable[Sequence[Message]],
     params: CostParams,
 ) -> List[PhaseReport]:
     """Time a sequence of phases executed one after the other (the
-    decomposed-communication schedule: L then U, not in parallel)."""
+    decomposed-communication schedule: L then U, not in parallel).
+    Rank-generic like :func:`phase_time`."""
     return [phase_time(mesh, msgs, params) for msgs in phases]
 
 

@@ -42,13 +42,20 @@ import numpy as np
 
 from .contention import CostParams
 from .routecache import route_cache_for
-from .topology import Link, Mesh2D, Message
+from .topology import Link, Message
 
 
 class EventSimulator:
-    """Simulate one communication phase; returns the makespan."""
+    """Simulate one communication phase; returns the makespan.
 
-    def __init__(self, mesh: Mesh2D, params: CostParams, cache=None):
+    Rank-generic: ``mesh`` may be any mesh with a route cache
+    (:class:`~repro.machine.topology.Mesh2D` or
+    :class:`~repro.machine.topology3d.Mesh3D`); the vectorized path
+    works off integer link-id arrays and :meth:`run_python` off the
+    mesh's dimension-order ``route``.
+    """
+
+    def __init__(self, mesh, params: CostParams, cache=None):
         self.mesh = mesh
         self.params = params
         self._cache = cache
@@ -95,7 +102,7 @@ class EventSimulator:
         for order, m in enumerate(messages):
             if m.is_local:
                 continue
-            route = tuple(self.mesh.xy_route(m.src, m.dst))
+            route = tuple(self.mesh.route(m.src, m.dst))
             k = per_sender.get(m.src, 0)
             per_sender[m.src] = k + 1
             ready = self.params.alpha * k

@@ -1,8 +1,14 @@
-"""Machine model presets: Paragon-style mesh and CM-5-style fat tree.
+"""Machine model presets: Paragon-style 2-D mesh, T3D-style 3-D mesh
+and the CM-5-style fat tree — all behind one
+:class:`~repro.machine.model.MachineModel` interface.
 
 **Paragon model** — a 2-D mesh with per-link serialization; costs come
 from the analytic contention model (cross-checked by the event-driven
 simulator).  Used for Table 2, Figure 7 and Figure 8.
+
+**T3D model** — the same cost structure one dimension up (the paper's
+m = 3 case): same ``PhaseReport`` timing surface, same event-driven
+cross-check, over XYZ dimension-order routes.
 
 **CM-5 model** — what Table 1 needs is the *structure* of the CM-5:
 
@@ -18,16 +24,21 @@ hardware tree cycle is much cheaper than a software message dispatch;
 per-element software handling costs a few bandwidth units); Table 1's
 qualitative ordering — reduction ≈ broadcast ≪ translation ≪ general —
 follows from the structure, not from fitting the paper's numbers.
+
+The name→factory **registry** lives in :mod:`repro.machine.model`; the
+presets register themselves at import: ``paragon`` (2-D), ``cm5``
+(2-D point-to-point + fat-tree collectives) and ``t3d`` (3-D).
 """
 
 from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence
+from typing import List, Sequence
 
 from .contention import CostParams, PhaseReport, phase_time, phased_time, total_time
 from .eventsim import EventSimulator
+from .model import MachineSpec, register_machine
 from .topology import Mesh2D, Message
 
 
@@ -82,9 +93,11 @@ class ParagonModel:
 class T3DModel:
     """3-D mesh machine (Cray T3D-like) — the paper's m = 3 case.
 
-    Same cost structure as the Paragon model, one more dimension; used
-    by the 3-D decomposition benchmark (elementary matrices in
-    dimension 3 move data parallel to a single axis of the cube).
+    Same cost structure and same interface as the Paragon model, one
+    more dimension: ``time_phase`` returns the full
+    :class:`~repro.machine.contention.PhaseReport` (time plus per-link
+    utilization) and the event-driven simulator cross-checks the
+    analytic bound, exactly as in 2-D.
     """
 
     p: int
@@ -97,22 +110,28 @@ class T3DModel:
 
         self.mesh = Mesh3D(self.p, self.q, self.r)
 
-    def time_phase(self, messages) -> float:
-        from .topology3d import phase_time_3d
-
-        return phase_time_3d(self.mesh, messages, self.params)
+    def time_phase(self, messages) -> PhaseReport:
+        return phase_time(self.mesh, messages, self.params)
 
     def time_phases(self, phases) -> float:
-        return sum(self.time_phase(msgs) for msgs in phases)
+        return total_time(phased_time(self.mesh, phases, self.params))
+
+    def time_event_driven(self, phases) -> float:
+        sim = EventSimulator(self.mesh, self.params)
+        return sim.run_phases(phases)
 
     def time_general(self, dists, t_mat, size: int = 1) -> float:
+        """Direct element-wise execution of a 3x3 data-flow matrix;
+        ``dists`` is a triple of 1-D distributions."""
         from .topology3d import affine_pattern_3d
 
         return self.time_phase(
             affine_pattern_3d(dists, t_mat, size=size, merge=False)
-        )
+        ).time
 
     def time_decomposed(self, dists, factors, size: int = 1) -> float:
+        """Execution of ``t = f1 @ f2 @ ...`` as coalesced axis-parallel
+        phases on the cube."""
         from .topology3d import affine_pattern_3d
 
         return self.time_phases(
@@ -182,3 +201,37 @@ class CM5Model:
             self.translation_time(size) / base,
             self.general_time(size) / base,
         ]
+
+
+# ---------------------------------------------------------------------------
+# registry entries — the names the CLI and the campaign layer speak
+# ---------------------------------------------------------------------------
+
+register_machine(
+    MachineSpec(
+        name="paragon",
+        mesh_rank=2,
+        factory=ParagonModel,
+        description="2-D mesh, analytic link contention (Paragon-like)",
+    )
+)
+register_machine(
+    MachineSpec(
+        name="cm5",
+        mesh_rank=2,
+        factory=ParagonModel,
+        collectives=lambda nodes: CM5Model(nodes=nodes),
+        description=(
+            "2-D mesh point-to-point pricing + fat-tree hardware "
+            "collectives (CM-5-like)"
+        ),
+    )
+)
+register_machine(
+    MachineSpec(
+        name="t3d",
+        mesh_rank=3,
+        factory=T3DModel,
+        description="3-D mesh, analytic link contention (Cray T3D-like)",
+    )
+)

@@ -34,6 +34,16 @@ class Mesh2D:
     def size(self) -> int:
         return self.p * self.q
 
+    @property
+    def dims(self) -> Tuple[int, int]:
+        """Side lengths, one per physical dimension (the common mesh
+        surface shared with :class:`~repro.machine.topology3d.Mesh3D`)."""
+        return (self.p, self.q)
+
+    @property
+    def ndim(self) -> int:
+        return 2
+
     def nodes(self) -> Iterator[Node]:
         for i in range(self.p):
             for j in range(self.q):
@@ -69,6 +79,11 @@ class Mesh2D:
             cur = nxt
         links.append(("eje", dst))
         return links
+
+    def route(self, src: Node, dst: Node) -> List[Link]:
+        """Dimension-order route — the rank-generic name every mesh
+        exposes (here an alias for :meth:`xy_route`)."""
+        return self.xy_route(src, dst)
 
     def hops(self, src: Node, dst: Node) -> int:
         """Manhattan distance."""

@@ -6,6 +6,12 @@ m = 2 and m = 3 are of particular practical interest", and the
 elementary-matrix machinery is stated for arbitrary dimension.  This
 module provides the 3-D substrate: XYZ dimension-order routing with
 injection/ejection links, mirroring :class:`~repro.machine.topology.Mesh2D`.
+
+The analytic timing surface is shared with the 2-D mesh: the generic
+:func:`~repro.machine.contention.phase_time` works on any mesh with a
+route cache, so :func:`phase_time_3d` is its 3-D entry point and
+returns the same :class:`~repro.machine.contention.PhaseReport`
+(time plus per-link utilization breakdown), not a bare float.
 """
 
 from __future__ import annotations
@@ -13,10 +19,15 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Iterator, List, Sequence, Tuple
 
-from .routecache import max_link_load, route_cache_for
+from .topology import Message
 
 Node3 = Tuple[int, int, int]
 Link = Tuple
+
+#: Point-to-point messages are rank-generic: a 3-D "message" is the
+#: same record as a 2-D one, with 3-tuple endpoints.  The historical
+#: name is kept for callers of the 3-D pattern generators.
+Message3 = Message
 
 
 @dataclass(frozen=True)
@@ -34,6 +45,16 @@ class Mesh3D:
     @property
     def size(self) -> int:
         return self.p * self.q * self.r
+
+    @property
+    def dims(self) -> Tuple[int, int, int]:
+        """Side lengths, one per physical dimension (the common mesh
+        surface shared with :class:`~repro.machine.topology.Mesh2D`)."""
+        return (self.p, self.q, self.r)
+
+    @property
+    def ndim(self) -> int:
+        return 3
 
     def nodes(self) -> Iterator[Node3]:
         for i in range(self.p):
@@ -76,70 +97,63 @@ class Mesh3D:
         links.append(("eje", dst))
         return links
 
+    def route(self, src: Node3, dst: Node3) -> List[Link]:
+        """Dimension-order route — the rank-generic name every mesh
+        exposes (here an alias for :meth:`xyz_route`)."""
+        return self.xyz_route(src, dst)
 
-def phase_time_3d(mesh: Mesh3D, messages, params, cache=None) -> float:
-    """Analytic link-contention bound on a 3-D mesh (same structure as
-    the 2-D model: start-up serialization per sender, bottleneck link,
-    pipeline latency).
 
-    Vectorized like :func:`~repro.machine.contention.phase_time`: routes
-    are cached link-id arrays and loads accumulate via the shared
-    :func:`~repro.machine.routecache.max_link_load` helper.
+def phase_time_3d(mesh: Mesh3D, messages, params, cache=None):
+    """Analytic link-contention bound on a 3-D mesh.
+
+    Same structure — and same implementation — as the 2-D model: the
+    generic :func:`~repro.machine.contention.phase_time` consumes cached
+    integer link-id arrays and accumulates loads through the shared
+    :func:`~repro.machine.routecache.max_link_load` helper; this
+    function is the 3-D-named entry point.  Returns a full
+    :class:`~repro.machine.contention.PhaseReport`.
     """
-    if cache is None:
-        cache = route_cache_for(mesh)
-    sender_msgs = {}
-    max_hops = 0
-    id_arrays = []
-    sizes = []
-    for m in messages:
-        if m.src == m.dst:
-            continue
-        sender_msgs[m.src] = sender_msgs.get(m.src, 0) + 1
-        ids = cache.link_ids(m.src, m.dst)
-        n = ids.shape[0]
-        if n - 2 > max_hops:
-            max_hops = n - 2  # == mesh.hops(m.src, m.dst) by construction
-        id_arrays.append(ids)
-        sizes.append(m.size)
-    max_load = max_link_load(cache, id_arrays, sizes)
-    max_fanout = max(sender_msgs.values(), default=0)
-    return (
-        params.alpha * max_fanout
-        + params.beta * max_load
-        + params.gamma * max_hops
-    )
+    from .contention import phase_time
+
+    return phase_time(mesh, messages, params, cache=cache)
 
 
-def phase_time_3d_python(mesh: Mesh3D, messages, params) -> float:
+def phase_time_3d_python(mesh: Mesh3D, messages, params):
     """Pure-Python reference implementation of :func:`phase_time_3d`
     (per-link dict probes) — baseline and bit-identity cross-check."""
     link_load = {}
     sender_msgs = {}
     max_hops = 0
+    total_volume = 0
+    local = 0
+    remote = 0
     for m in messages:
         if m.src == m.dst:
+            local += 1
             continue
+        remote += 1
+        total_volume += m.size
         sender_msgs[m.src] = sender_msgs.get(m.src, 0) + 1
         max_hops = max(max_hops, mesh.hops(m.src, m.dst))
         for link in mesh.xyz_route(m.src, m.dst):
             link_load[link] = link_load.get(link, 0) + m.size
     max_load = max(link_load.values(), default=0)
     max_fanout = max(sender_msgs.values(), default=0)
-    return (
-        params.alpha * max_fanout
-        + params.beta * max_load
-        + params.gamma * max_hops
+    from .contention import PhaseReport
+
+    return PhaseReport(
+        time=(
+            params.alpha * max_fanout
+            + params.beta * max_load
+            + params.gamma * max_hops
+        ),
+        max_link_load=max_load,
+        max_hops=max_hops,
+        max_msgs_per_sender=max_fanout,
+        total_messages=remote,
+        total_volume=total_volume,
+        local_messages=local,
     )
-
-
-@dataclass(frozen=True)
-class Message3:
-    """Point-to-point message between 3-D mesh nodes."""
-
-    src: Node3
-    dst: Node3
-    size: int = 1
 
 
 def affine_pattern_3d(
@@ -170,10 +184,10 @@ def affine_pattern_3d(
                     key = (src, dst)
                     sizes[key] = sizes.get(key, 0) + size
                 else:
-                    out.append(Message3(src=src, dst=dst, size=size))
+                    out.append(Message(src=src, dst=dst, size=size))
     if merge:
         return [
-            Message3(src=s, dst=d, size=sz)
+            Message(src=s, dst=d, size=sz)
             for (s, d), sz in sorted(sizes.items())
         ]
     return out

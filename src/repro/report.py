@@ -8,6 +8,12 @@ from __future__ import annotations
 from typing import Dict, Iterable, List, Sequence
 
 
+def format_mesh(dims: Sequence[int]) -> str:
+    """Render an N-D mesh spec the way the CLI spells it:
+    ``(4, 4)`` → ``"4x4"``, ``(2, 2, 2)`` → ``"2x2x2"``."""
+    return "x".join(str(d) for d in dims)
+
+
 def format_table(
     headers: Sequence[str], rows: Iterable[Sequence], title: str = ""
 ) -> str:

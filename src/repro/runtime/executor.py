@@ -19,7 +19,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from ..machine import CM5Model, Message, ParagonModel, message_counts
+from ..machine import CM5Model, MachineModel, Message
 from .mapping import CommEvent, MappedProgram
 
 
@@ -85,16 +85,19 @@ def _vectorizable(program: MappedProgram, label: str) -> bool:
 
 def execute(
     program: MappedProgram,
-    machine: ParagonModel,
+    machine: MachineModel,
     collectives: Optional[CM5Model] = None,
     payload: int = 1,
 ) -> CommReport:
     """Execute the mapped program's communications on a machine model.
 
-    ``machine`` prices point-to-point phases (per time step, one phase
-    per access); ``collectives`` — when given — prices the accesses the
-    heuristic classified as macro-communications with hardware
-    collective costs instead (the CM-5 situation of Table 1).
+    ``machine`` is any registered :class:`~repro.machine.MachineModel`
+    (Paragon-style 2-D, T3D-style 3-D, …) and prices point-to-point
+    phases (per time step, one phase per access) — the program's folded
+    coordinates are tuples of the machine's mesh rank; ``collectives``
+    — when given — prices the accesses the heuristic classified as
+    macro-communications with hardware collective costs instead (the
+    CM-5 situation of Table 1).
     """
     events = program.comm_events()
     per_access: Dict[str, AccessCommStats] = {}

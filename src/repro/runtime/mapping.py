@@ -7,6 +7,12 @@ substitution for running the compiled HPF program on real hardware: the
 paper's claims are about which messages exist, how they group into
 macro-communications and how they collide — all of which the executor
 reproduces exactly.
+
+Folding is dimension-generic: the physical target may be any N-D mesh
+(2-D Paragon, 3-D T3D, …) and one 1-D distribution scheme is applied
+per physical dimension.  The virtual grid dimension ``m`` must equal
+the mesh rank — a mismatch raises a friendly error instead of the old
+silent collapse-by-summation of extra virtual dimensions.
 """
 
 from __future__ import annotations
@@ -18,10 +24,9 @@ from ..alignment import MappingResult
 from ..distribution import Distribution1D, make_1d
 from ..ir import AccessKind
 from ..linalg import IntMat
-from ..machine import Mesh2D, Message
 
 Virtual = Tuple[int, ...]
-Phys = Tuple[int, int]
+Phys = Tuple[int, ...]
 
 
 @dataclass
@@ -29,37 +34,86 @@ class Folding:
     """Folds the (unbounded) m-D virtual grid onto a physical mesh.
 
     The virtual coordinates produced by allocation matrices can be
-    negative and unbounded; we first shift-and-clamp them into a
-    ``extent x extent`` window per dimension (modulo), then apply one
-    1-D distribution per dimension.  Only ``m = 2`` targets a mesh; the
-    first two virtual dimensions are folded and any extra dimensions
-    are collapsed by summation (the paper never uses m > 2 in its
-    experiments).
+    negative and unbounded; we first shift-and-clamp them into an
+    ``extent``-sized window per dimension (modulo), then apply one 1-D
+    distribution per physical mesh dimension.  ``mesh`` may be any
+    mesh exposing ``dims`` (:class:`~repro.machine.Mesh2D`,
+    :class:`~repro.machine.Mesh3D`, …); the virtual rank must equal the
+    mesh rank — :meth:`fold` raises a friendly ``ValueError`` on
+    mismatch (pick ``m = len(mesh.dims)`` when compiling).
+
+    Schemes: ``schemes``/``scheme_kw`` give one 1-D scheme name (and
+    keyword dict) per mesh dimension.  For 2-D meshes the historical
+    ``row_scheme``/``col_scheme`` (+ ``row_kw``/``col_kw``) spelling is
+    still accepted; when neither is given every dimension defaults to
+    ``cyclic``.
     """
 
-    mesh: Mesh2D
+    mesh: object
     extent: int
+    schemes: Optional[Sequence[str]] = None
+    scheme_kw: Optional[Sequence[Dict]] = None
     row_scheme: str = "cyclic"
     col_scheme: str = "cyclic"
     row_kw: Dict = field(default_factory=dict)
     col_kw: Dict = field(default_factory=dict)
 
     def __post_init__(self):
-        self._rows: Distribution1D = make_1d(
-            self.row_scheme, self.extent, self.mesh.p, **self.row_kw
+        dims = tuple(self.mesh.dims)
+        schemes = self.schemes
+        kws = self.scheme_kw
+        legacy = (
+            self.row_scheme != "cyclic"
+            or self.col_scheme != "cyclic"
+            or bool(self.row_kw)
+            or bool(self.col_kw)
         )
-        self._cols: Distribution1D = make_1d(
-            self.col_scheme, self.extent, self.mesh.q, **self.col_kw
+        if schemes is None:
+            if len(dims) == 2:
+                schemes = (self.row_scheme, self.col_scheme)
+                if kws is None:
+                    kws = (self.row_kw, self.col_kw)
+            elif legacy:
+                raise ValueError(
+                    "row_scheme/col_scheme/row_kw/col_kw only apply to "
+                    f"2-D meshes; this mesh is {len(dims)}-D — pass "
+                    "schemes=(...) with one scheme per dimension"
+                )
+            else:
+                schemes = ("cyclic",) * len(dims)
+        elif legacy:
+            raise ValueError(
+                "pass either schemes=/scheme_kw= or the 2-D "
+                "row_scheme/col_scheme spelling, not both"
+            )
+        if kws is None:
+            kws = ({},) * len(dims)
+        if len(schemes) != len(dims) or len(kws) != len(dims):
+            raise ValueError(
+                f"need one distribution scheme per mesh dimension: mesh "
+                f"has {len(dims)} dimension(s), got {len(schemes)} "
+                f"scheme(s) and {len(kws)} kwarg dict(s)"
+            )
+        self._dists: Tuple[Distribution1D, ...] = tuple(
+            make_1d(s, self.extent, p, **kw)
+            for s, p, kw in zip(schemes, dims, kws)
         )
 
+    @property
+    def rank(self) -> int:
+        """Number of physical mesh dimensions."""
+        return len(self._dists)
+
     def fold(self, virtual: Sequence[int]) -> Phys:
-        v0 = virtual[0] if len(virtual) >= 1 else 0
-        v1 = virtual[1] if len(virtual) >= 2 else 0
-        for extra in virtual[2:]:
-            v1 += extra
-        return (
-            self._rows.phys(v0 % self.extent),
-            self._cols.phys(v1 % self.extent),
+        if len(virtual) != self.rank:
+            raise ValueError(
+                f"cannot fold a {len(virtual)}-D virtual coordinate onto "
+                f"a {self.rank}-D mesh: the virtual grid dimension m must "
+                f"equal the mesh rank (compile with m={self.rank} or "
+                f"target a {len(virtual)}-D mesh)"
+            )
+        return tuple(
+            d.phys(v % self.extent) for d, v in zip(self._dists, virtual)
         )
 
 
@@ -86,6 +140,16 @@ class MappedProgram:
     mapping: MappingResult
     folding: Folding
     params: Dict[str, int]
+
+    def __post_init__(self):
+        m = self.mapping.alignment.m
+        if m != self.folding.rank:
+            raise ValueError(
+                f"mapping targets an m={m} virtual grid but the folding "
+                f"is onto a {self.folding.rank}-D mesh: the two ranks "
+                f"must match (compile with m={self.folding.rank} or fold "
+                f"onto a {m}-D mesh)"
+            )
 
     def virtual_of_stmt(self, stmt: str, index: Sequence[int]) -> Virtual:
         al = self.mapping.alignment

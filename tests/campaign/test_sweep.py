@@ -42,3 +42,60 @@ class TestSweepSpec:
         assert default_spec(seed=0, nests=2).digest() != default_spec(
             seed=0, nests=3
         ).digest()
+
+
+class TestMixedRankGrids:
+    """Registry-backed machines: mixed 2-D/3-D grids expand to exactly
+    the compatible (machine, mesh, m) cells."""
+
+    def test_t3d_grid_expands(self):
+        wls = generate_workloads(0, 2)
+        spec = SweepSpec(
+            workloads=wls, machines=("t3d",), meshes=((2, 2, 2),), ms=(3,)
+        )
+        tasks = spec.expand()
+        assert len(tasks) == 2
+        assert all(t.machine == "t3d" and t.mesh == (2, 2, 2) for t in tasks)
+
+    def test_mixed_grid_keeps_compatible_cells_only(self):
+        wls = generate_workloads(0, 2)
+        spec = SweepSpec(
+            workloads=wls,
+            machines=("paragon", "cm5", "t3d"),
+            meshes=((4, 4), (2, 2, 2)),
+            ms=(2, 3),
+        )
+        tasks = spec.expand()
+        # per workload: paragon+cm5 on (4,4,m=2) and t3d on (2,2,2,m=3)
+        assert len(tasks) == 2 * 3
+        cells = {(t.machine, t.mesh, t.m) for t in tasks}
+        assert cells == {
+            ("paragon", (4, 4), 2),
+            ("cm5", (4, 4), 2),
+            ("t3d", (2, 2, 2), 3),
+        }
+
+    def test_fully_incompatible_grid_refused(self):
+        wls = generate_workloads(0, 1)
+        spec = SweepSpec(
+            workloads=wls, machines=("t3d",), meshes=((4, 4),), ms=(2,)
+        )
+        with pytest.raises(ValueError, match="empty sweep grid"):
+            spec.expand()
+
+    def test_compatibility_filter_keeps_2d_ids_stable(self):
+        """Adding 3-D cells to a grid must not disturb the task ids of
+        the 2-D cells (checkpoints of old campaigns stay resumable)."""
+        wls = generate_workloads(0, 2)
+        pure = SweepSpec(
+            workloads=wls, machines=("paragon",), meshes=((4, 4),), ms=(2,)
+        ).expand()
+        mixed = SweepSpec(
+            workloads=wls,
+            machines=("paragon", "t3d"),
+            meshes=((4, 4), (2, 2, 2)),
+            ms=(2, 3),
+        ).expand()
+        pure_ids = {t.task_id for t in pure}
+        mixed_ids = {t.task_id for t in mixed}
+        assert pure_ids <= mixed_ids

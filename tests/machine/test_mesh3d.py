@@ -49,12 +49,43 @@ class TestTiming3D:
     def test_single_message(self):
         mesh = Mesh3D(2, 2, 2)
         p = CostParams(alpha=10, beta=1, gamma=0.5)
-        t = phase_time_3d(mesh, [Message3((0, 0, 0), (0, 0, 1), size=4)], p)
-        assert t == 10 + 4 + 0.5
+        rep = phase_time_3d(mesh, [Message3((0, 0, 0), (0, 0, 1), size=4)], p)
+        assert rep.time == 10 + 4 + 0.5
+        # the full utilization breakdown comes back, like in 2-D
+        assert rep.max_link_load == 4
+        assert rep.max_hops == 1
+        assert rep.total_messages == 1
+        assert rep.total_volume == 4
 
     def test_local_free(self):
         mesh = Mesh3D(2, 2, 2)
-        assert phase_time_3d(mesh, [Message3((0, 0, 0), (0, 0, 0), 9)], CostParams()) == 0
+        rep = phase_time_3d(
+            mesh, [Message3((0, 0, 0), (0, 0, 0), 9)], CostParams()
+        )
+        assert rep.time == 0
+        assert rep.local_messages == 1
+
+    def test_t3d_time_phase_returns_report(self):
+        """T3DModel.time_phase exposes the same PhaseReport surface as
+        ParagonModel (formerly a bare float)."""
+        from repro.machine import PhaseReport
+
+        machine = T3DModel(2, 2, 2)
+        rep = machine.time_phase([Message3((0, 0, 0), (1, 1, 1), size=2)])
+        assert isinstance(rep, PhaseReport)
+        assert rep.time > 0 and rep.max_hops == 3
+
+    def test_t3d_event_driven_cross_check(self):
+        """The event simulator runs on the 3-D mesh — the same
+        cross-check Paragon has: for a conflict-free phase the makespan
+        is the transfer+pipeline term, and the analytic model is an
+        upper bound (it additionally charges the sender start-up)."""
+        machine = T3DModel(2, 2, 2)
+        phase = [Message3((0, 0, 0), (1, 1, 1), size=2)]
+        event = machine.time_event_driven([phase])
+        p = machine.params
+        assert event == p.beta * 2 + p.gamma * 3
+        assert event <= machine.time_phases([phase])
 
 
 class TestT3DDecomposition:

@@ -106,6 +106,32 @@ class TestCliHardening:
         assert rc == 2
         assert "repeated cell" in capsys.readouterr().err
 
+    def test_truncated_3d_mesh(self, nest_file, capsys):
+        assert main([nest_file, "--mesh", "2x"]) == 2
+        assert "bad --mesh" in capsys.readouterr().err
+
+    def test_map_3d_mesh_with_m2_exits_2(self, nest_file, capsys):
+        rc = main(
+            [nest_file, "--execute", "--mesh", "2x2x2", "--m", "2"]
+        )
+        assert rc == 2
+        err = capsys.readouterr().err
+        assert "3-D" in err and "--m" in err
+
+    def test_map_2d_mesh_with_m3_exits_2(self, nest_file, capsys):
+        rc = main([nest_file, "--execute", "--mesh", "4x4", "--m", "3"])
+        assert rc == 2
+        assert "mesh rank" in capsys.readouterr().err
+
+    def test_campaign_3d_mesh_with_m2_exits_2(self, tmp_path, capsys):
+        out = str(tmp_path / "r.jsonl")
+        rc = main(
+            ["campaign", "run", "--out", out, "--nests", "1", "--no-corpus",
+             "--mesh", "2x2x2", "--m", "2"]
+        )
+        assert rc == 2
+        assert "compatible" in capsys.readouterr().err
+
 
 class TestCampaignCli:
     def _run(self, tmp_path, *extra):
@@ -174,3 +200,55 @@ class TestCampaignCli:
     def test_summarize_missing_file(self, tmp_path, capsys):
         assert main(["campaign", "summarize", str(tmp_path / "no.jsonl")]) == 2
         assert "no campaign records" in capsys.readouterr().err
+
+
+class TestCli3D:
+    """The m = 3 / T3D path through both subcommands."""
+
+    def test_map_execute_on_cube(self, nest_file, capsys):
+        rc = main(
+            [nest_file, "--execute", "--mesh", "2x2x2", "--m", "3",
+             "--params", "n=3", "--outer-sequential", "1"]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "total:" in out
+
+    def test_campaign_t3d_runs_clean(self, tmp_path, capsys):
+        out = str(tmp_path / "t3d.jsonl")
+        rc = main(
+            ["campaign", "run", "--seed", "0", "--nests", "2", "--no-corpus",
+             "--machines", "t3d", "--mesh", "2x2x2", "--m", "3",
+             "--out", out]
+        )
+        assert rc == 0
+        text = capsys.readouterr().out
+        assert "0 error" in text
+        assert "2x2x2" in text  # N-D mesh rendered in the summary table
+
+    def test_campaign_mixed_rank_grid(self, tmp_path, capsys):
+        """paragon on 4x4 at m=2 next to t3d on 2x2x2 at m=3 in one
+        campaign: only compatible cells expand, zero error records."""
+        import json
+
+        out = str(tmp_path / "mixed.jsonl")
+        rc = main(
+            ["campaign", "run", "--seed", "0", "--nests", "2", "--no-corpus",
+             "--machines", "paragon,t3d", "--mesh", "4x4,2x2x2",
+             "--m", "2,3", "--out", out]
+        )
+        assert rc == 0
+        text = capsys.readouterr().out
+        assert "4 task(s)" in text and "4 ok" in text
+        by_machine = {}
+        with open(out) as fh:
+            for line in fh:
+                d = json.loads(line)
+                if d.get("record") == "result":
+                    assert d["status"] == "ok"
+                    by_machine.setdefault(d["machine"], set()).add(
+                        tuple(d["mesh"])
+                    )
+        assert by_machine == {
+            "paragon": {(4, 4)}, "t3d": {(2, 2, 2)},
+        }
