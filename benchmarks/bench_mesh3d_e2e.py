@@ -10,6 +10,8 @@ the measured nests-compiled-per-second lands in ``BENCH_campaign.json``
 under the ``grid_3d`` section, alongside the 2-D entry.
 """
 
+import json
+import os
 import time
 
 from repro.campaign import (
@@ -24,6 +26,18 @@ SEED = 0
 NESTS = 4
 JOBS = 2
 MESH = (2, 2, 2)
+
+
+def _previous_tasks_per_second() -> float:
+    """The ``grid_3d`` throughput currently on disk (for the delta)."""
+    path = os.path.join(
+        os.path.dirname(os.path.abspath(__file__)), "BENCH_campaign.json"
+    )
+    try:
+        with open(path) as fh:
+            return float(json.load(fh)["grid_3d"]["tasks_per_second"])
+    except (OSError, ValueError, KeyError, TypeError):
+        return 0.0
 
 
 def _grid():
@@ -74,6 +88,7 @@ def test_mesh3d_campaign_gate(tmp_path, benchmark):
     )
 
     compile_seconds = sum(r.seconds for r in results.values())
+    prev = _previous_tasks_per_second()
     from _harness import record_bench
 
     record_bench(
@@ -90,6 +105,13 @@ def test_mesh3d_campaign_gate(tmp_path, benchmark):
             "task_compile_seconds": round(compile_seconds, 3),
             "tasks_per_second": round(len(tasks) / wall, 2),
             "nests_compiled_per_second": round(len(tasks) / wall, 2),
+            "unique_compiles": outcome.compile_cache_misses,
+            "compile_cache": {
+                "hits": outcome.compile_cache_hits,
+                "misses": outcome.compile_cache_misses,
+            },
+            "tasks_per_second_prev": prev,
+            "tasks_per_second_delta": round(len(tasks) / wall - prev, 2),
             "summary_rows": rows,
         },
         section="grid_3d",

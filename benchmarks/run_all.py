@@ -6,6 +6,7 @@ CI / per-PR entry point::
     python benchmarks/run_all.py            # fast: shape claims only
     python benchmarks/run_all.py --timed    # full pytest-benchmark timing
     python benchmarks/run_all.py --match fig  # subset by filename substring
+    python benchmarks/run_all.py --profile  # cProfile hotspots -> BENCH_profile.json
 
 Each benchmark file runs in its own pytest subprocess (``PYTHONPATH``
 is set up automatically, so this works from a clean checkout).  Shape
@@ -29,7 +30,15 @@ Registered subsystem gates (beyond the paper artefacts):
   ``grid_2d``);
 * ``bench_mesh3d_e2e.py`` — the same gate for the m = 3 path: a small
   campaign grid against ``t3d`` on a ``2x2x2`` cube, recorded under
-  ``grid_3d`` in the same artifact.
+  ``grid_3d`` in the same artifact;
+* ``bench_runtime_exec.py`` — vectorized runtime executor vs the
+  per-element Python baseline (bit-identity + >= 5x floor), recorded in
+  ``BENCH_runtime_exec.json``.
+
+``--profile`` runs the reference scenarios (an inline campaign grid +
+the reference pricing workload) under ``cProfile`` and writes the top
+cumulative-time hotspots to ``BENCH_profile.json`` — the per-PR answer
+to "where do the cycles go now?".
 """
 
 from __future__ import annotations
@@ -43,6 +52,93 @@ import time
 
 BENCH_DIR = os.path.dirname(os.path.abspath(__file__))
 SRC_DIR = os.path.join(os.path.dirname(BENCH_DIR), "src")
+
+#: hotspot rows kept in BENCH_profile.json
+PROFILE_TOP_N = 30
+
+
+def run_profile(top_n: int = PROFILE_TOP_N) -> int:
+    """Profile the reference scenarios and record the hotspots.
+
+    Runs (in-process, ``jobs=1`` so worker time is attributed) a small
+    campaign grid — compile + price over the default workload corpus —
+    and the reference pricing workload of ``bench_runtime_exec.py``,
+    then writes the ``top_n`` functions by cumulative time to
+    ``BENCH_profile.json``.
+    """
+    import cProfile
+    import pstats
+
+    sys.path.insert(0, SRC_DIR)
+    from repro import compile_nest
+    from repro.campaign import CampaignConfig, default_spec, run_campaign
+    from repro.ir import motivating_example
+    from repro.machine import ParagonModel
+    from repro.runtime import execute
+
+    import tempfile
+
+    spec = default_spec(seed=0, nests=4, meshes=((4, 4), (2, 2)))
+    tasks = spec.expand()
+    compiled = compile_nest(motivating_example(), m=2)
+    machine = ParagonModel(4, 4)
+    params = {"N": 14, "M": 14}
+
+    prof = cProfile.Profile()
+    t0 = time.perf_counter()
+    with tempfile.TemporaryDirectory() as tmp:
+        out = os.path.join(tmp, "profile.jsonl")
+        prof.enable()
+        run_campaign(tasks, out, CampaignConfig(jobs=1), meta={})
+        execute(compiled.program(machine, params), machine)
+        prof.disable()
+    wall = time.perf_counter() - t0
+
+    stats = pstats.Stats(prof)
+    stats.sort_stats("cumulative")
+    rows = []
+    for func, (cc, nc, tt, ct, _callers) in sorted(
+        stats.stats.items(), key=lambda kv: -kv[1][3]
+    ):
+        fname, line, name = func
+        rows.append(
+            {
+                "function": name,
+                "file": os.path.relpath(fname, os.path.dirname(BENCH_DIR))
+                if fname.startswith(os.path.dirname(BENCH_DIR))
+                else fname,
+                "line": line,
+                "ncalls": nc,
+                "tottime_s": round(tt, 4),
+                "cumtime_s": round(ct, 4),
+            }
+        )
+        if len(rows) >= top_n:
+            break
+
+    from _harness import record_bench
+
+    record_bench(
+        "profile",
+        {
+            "scenario": (
+                "campaign default grid (4 nests + corpus, meshes 4x4+2x2, "
+                "jobs=1) + reference pricing workload (motivating example, "
+                "N=M=14, 4x4 mesh)"
+            ),
+            "wall_seconds": round(wall, 3),
+            "top_n": top_n,
+            "hotspots": rows,
+        },
+    )
+    top = rows[:5]
+    print("top cumulative hotspots:")
+    for r in top:
+        print(
+            f"  {r['cumtime_s']:>8.3f}s  {r['function']} "
+            f"({r['file']}:{r['line']})"
+        )
+    return 0
 
 
 def bench_files(match: str = "") -> list:
@@ -94,7 +190,18 @@ def main(argv=None) -> int:
         default="",
         help="only run bench files whose name contains this substring",
     )
+    parser.add_argument(
+        "--profile",
+        action="store_true",
+        help="profile the reference scenarios with cProfile and write "
+        "the top cumulative hotspots to BENCH_profile.json (skips the "
+        "benchmark suite)",
+    )
     args = parser.parse_args(argv)
+
+    if args.profile:
+        sys.path.insert(0, BENCH_DIR)
+        return run_profile()
 
     files = bench_files(args.match)
     if not files:

@@ -92,9 +92,17 @@ class Alignment:
     def offset_of_stmt(self, name: str) -> IntMat:
         return self.offsets[stmt_node(name)]
 
+    @property
+    def mutation_count(self) -> int:
+        """Bumped by :meth:`rotate_component`; downstream caches keyed
+        on allocations (the runtime's virtual-batch memo) include it so
+        a rotation invalidates them."""
+        return self.__dict__.get("_mutation_count", 0)
+
     def rotate_component(self, root: str, v: IntMat) -> None:
         """Left-multiply every allocation of the component rooted at
         ``root`` by the unimodular matrix ``v`` (Section 3 remark)."""
+        self.__dict__["_mutation_count"] = self.mutation_count + 1
         for node, r in self.component_root_of.items():
             if r == root:
                 self.allocations[node] = v @ self.allocations[node]
@@ -155,18 +163,26 @@ def _score_root_candidate(
     return score
 
 
-def _candidate_roots(m: int, dim: int) -> List[IntMat]:
-    """Coordinate-projection candidates for a free root allocation."""
+from functools import lru_cache
+
+
+@lru_cache(maxsize=None)
+def _candidate_roots(m: int, dim: int) -> Tuple[IntMat, ...]:
+    """Coordinate-projection candidates for a free root allocation.
+
+    Memoized on ``(m, dim)``: the ``C(dim, m)`` projection matrices are
+    the same for every component of every nest, and ``IntMat`` is
+    immutable, so the shared instances are safe to hand out (campaigns
+    call this thousands of times with a handful of distinct shapes).
+    """
     from itertools import combinations
 
-    out: List[IntMat] = []
     if dim <= m:
-        return [_default_root_matrix(m, dim)]
-    for rows in combinations(range(dim), m):
-        out.append(
-            IntMat([[1 if j == r else 0 for j in range(dim)] for r in rows])
-        )
-    return out
+        return (_default_root_matrix(m, dim),)
+    return tuple(
+        IntMat([[1 if j == r else 0 for j in range(dim)] for r in rows])
+        for rows in combinations(range(dim), m)
+    )
 
 
 def align(
@@ -273,11 +289,24 @@ def align(
         sorted_candidates = sorted(
             candidates, key=lambda t: -g.edge(t[0]).weight
         )
+        # Rank-m root allocations in the joint left kernel exist iff
+        # rank(stack) <= root_dim - m (the rational left kernel has
+        # dimension root_dim - rank), so candidates are screened by an
+        # incremental (memoized) rank computation — the full IntMat
+        # stack + kernel basis is only built once, for the survivors.
+        from ..linalg import rank as _rank
+
+        max_rank = root_dim - m
+        combined: Optional[IntMat] = None
         for eid, d_mat in sorted_candidates:
-            trial = constraints + [d_mat]
-            if kernel_rows(trial) is not None:
-                constraints.append(d_mat)
-                chosen_constraints.append(eid)
+            if max_rank <= 0:
+                break  # non-zero differences can never be absorbed
+            trial = d_mat if combined is None else combined.hstack(d_mat)
+            if _rank(trial) > max_rank:
+                continue  # rejected by rank, no kernel basis needed
+            constraints.append(d_mat)
+            chosen_constraints.append(eid)
+            combined = trial
 
         if constraints:
             m_root = kernel_rows(constraints)

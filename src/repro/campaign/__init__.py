@@ -23,11 +23,21 @@ from .runner import (
     CampaignConfig,
     CampaignOutcome,
     CampaignSpecMismatch,
+    clear_compile_cache,
+    compile_cache_stats,
     execute_task,
     run_campaign,
+    set_compile_cache_size,
 )
 from .store import RunStore, TaskResult, summarize_results
-from .sweep import MACHINES, SweepSpec, SweepTask, default_spec, grid_digest
+from .sweep import (
+    MACHINES,
+    SweepSpec,
+    SweepTask,
+    default_spec,
+    grid_digest,
+    group_by_compile_key,
+)
 from .workloads import Workload, corpus, generate_workloads
 
 __all__ = [
@@ -39,11 +49,15 @@ __all__ = [
     "MACHINES",
     "default_spec",
     "grid_digest",
+    "group_by_compile_key",
     "CampaignConfig",
     "CampaignOutcome",
     "CampaignSpecMismatch",
     "execute_task",
     "run_campaign",
+    "clear_compile_cache",
+    "compile_cache_stats",
+    "set_compile_cache_size",
     "RunStore",
     "TaskResult",
     "summarize_results",

@@ -10,6 +10,23 @@ process at any point loses at most the in-flight tasks, and re-running
 with ``resume=True`` executes exactly the tasks whose results are not
 on disk yet.
 
+**Compile once, price many**: the heuristic and the Feautrier baseline
+depend only on ``(workload, m, heuristic knobs)`` — not on the machine
+or the mesh — so the task execution is split into a *compile* stage
+(cached per worker process in an LRU keyed by
+:attr:`~repro.campaign.sweep.SweepTask.compile_key`) and a *price*
+stage (per grid cell).  The runner additionally dispatches whole
+compile-key groups to one worker (see
+:func:`~repro.campaign.sweep.group_by_compile_key`), so a grid with K
+machine x mesh cells per nest compiles each nest once instead of K
+times regardless of pool scheduling.  Stored records are byte-identical
+to a recompile-every-cell run (asserted in
+``tests/campaign/test_compile_cache.py``); cache hits are reported in
+memory only (``TaskResult.compile_cache_hit``,
+``CampaignOutcome.compile_cache_hits``).  Knob:
+``REPRO_CAMPAIGN_COMPILE_CACHE`` (entries per worker, default 32,
+``0`` disables).
+
 Per-task failures never abort the campaign: exceptions become
 ``status="error"`` records, and a per-task wall-clock ``timeout``
 (SIGALRM-based, skipped on platforms without it) becomes
@@ -22,12 +39,14 @@ import multiprocessing
 import signal
 import time
 import traceback
+from collections import OrderedDict
 from dataclasses import dataclass
 from functools import partial
-from typing import Callable, Dict, List, Optional, Sequence
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
+from .._config import env_int
 from .store import RunStore, TaskResult
-from .sweep import SweepTask
+from .sweep import SweepTask, group_by_compile_key
 
 
 class CampaignSpecMismatch(RuntimeError):
@@ -42,12 +61,76 @@ def _alarm_handler(signum, frame):
     raise _TaskTimeout()
 
 
-def _execute_task_inner(task: SweepTask) -> TaskResult:
+# ---------------------------------------------------------------------------
+# compile stage — per-worker LRU over (workload, m, knobs)
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class _CompiledWorkload:
+    """Everything the price stage needs, machine/mesh independent."""
+
+    compiled: object  # driver.CompiledNest
+    baseline: object  # alignment.MappingResult (Feautrier, frozen)
+    params: Dict[str, int]
+
+
+#: per-process cache; fork workers start with the parent's (usually
+#: empty) copy and populate their own
+_compile_cache: "OrderedDict[str, _CompiledWorkload]" = OrderedDict()
+_compile_cache_size: int = env_int("REPRO_CAMPAIGN_COMPILE_CACHE", 32)
+_compile_hits: int = 0
+_compile_misses: int = 0
+
+
+def set_compile_cache_size(size: int) -> int:
+    """Resize (``0`` disables) the per-worker compile cache; returns the
+    previous size.  Affects the current process only — pool workers
+    inherit whatever was set before the fork."""
+    global _compile_cache_size
+    prev = _compile_cache_size
+    _compile_cache_size = size
+    if size <= 0:
+        _compile_cache.clear()
+    while len(_compile_cache) > max(size, 0):
+        _compile_cache.popitem(last=False)
+    return prev
+
+
+def compile_cache_stats() -> Dict[str, int]:
+    """Hit/miss counters of *this* process's compile cache."""
+    return {
+        "hits": _compile_hits,
+        "misses": _compile_misses,
+        "size": len(_compile_cache),
+        "maxsize": _compile_cache_size,
+    }
+
+
+def clear_compile_cache() -> None:
+    global _compile_hits, _compile_misses
+    _compile_cache.clear()
+    _compile_hits = 0
+    _compile_misses = 0
+
+
+def _compile_for_task(task: SweepTask) -> Tuple[_CompiledWorkload, bool]:
+    """The compile stage: two-step heuristic + Feautrier baseline for
+    the task's ``(workload, m, rank_weights)``, LRU-cached per worker.
+    Returns ``(compiled, cache_hit)``."""
+    global _compile_hits, _compile_misses
+    key = task.compile_key
+    if _compile_cache_size > 0:
+        cached = _compile_cache.get(key)
+        if cached is not None:
+            _compile_cache.move_to_end(key)
+            _compile_hits += 1
+            return cached, True
+    _compile_misses += 1
+
     from ..alignment import optimize_residuals
     from ..baselines import feautrier_align
     from ..driver import compile_nest
-    from ..machine import machine_spec
-    from ..runtime import MappedProgram, execute
 
     wl = task.workload
     nest = wl.resolve()
@@ -62,40 +145,61 @@ def _execute_task_inner(task: SweepTask) -> TaskResult:
         name=wl.name,
         use_rank_weights=task.rank_weights,
     )
-    spec = machine_spec(task.machine)
-    machine = spec.make(task.mesh)
-    collectives = spec.make_collectives(task.mesh)
-    program = compiled.program(machine, params)
-    report = execute(program, machine, collectives=collectives)
-
     baseline = optimize_residuals(
         feautrier_align(nest, task.m),
         compiled.schedules,
         allow_rotations=False,
     )
+    cw = _CompiledWorkload(compiled=compiled, baseline=baseline, params=params)
+    if _compile_cache_size > 0:
+        _compile_cache[key] = cw
+        while len(_compile_cache) > _compile_cache_size:
+            _compile_cache.popitem(last=False)
+    return cw, False
+
+
+def _price_task(task: SweepTask, cw: _CompiledWorkload) -> TaskResult:
+    """The price stage: fold the compiled nest onto the task's machine x
+    mesh cell and cost both mappings."""
+    from ..machine import machine_spec
+    from ..runtime import MappedProgram, execute
+
+    spec = machine_spec(task.machine)
+    machine = spec.make(task.mesh)
+    collectives = spec.make_collectives(task.mesh)
+    program = cw.compiled.program(machine, cw.params)
+    report = execute(program, machine, collectives=collectives)
+
     # same folding as the heuristic's program, so the two prices share
     # the driver's folding policy by construction
     base_program = MappedProgram(
-        mapping=baseline, folding=program.folding, params=params
+        mapping=cw.baseline, folding=program.folding, params=cw.params
     )
     base_report = execute(base_program, machine, collectives=collectives)
 
     return TaskResult(
         task_id=task.task_id,
-        workload=wl.name,
+        workload=task.workload.name,
         machine=task.machine,
         mesh=task.mesh,
         m=task.m,
         rank_weights=task.rank_weights,
         status="ok",
-        counts=compiled.mapping.counts(),
-        residuals=len(compiled.mapping.optimized),
+        counts=cw.compiled.mapping.counts(),
+        residuals=len(cw.compiled.mapping.optimized),
         total_time=report.total_time,
         total_messages=report.total_messages,
         total_volume=report.total_volume,
-        baseline_residuals=len(baseline.optimized),
+        baseline_residuals=len(cw.baseline.optimized),
         baseline_time=base_report.total_time,
     )
+
+
+def _execute_task_inner(task: SweepTask) -> TaskResult:
+    cw, hit = _compile_for_task(task)
+    result = _price_task(task, cw)
+    result.compile_cache_hit = hit
+    return result
 
 
 def execute_task(task: SweepTask, timeout: Optional[float] = None) -> TaskResult:
@@ -147,6 +251,17 @@ def _failure_result(task: SweepTask, status: str, message: str) -> TaskResult:
     )
 
 
+def _execute_task_group(
+    group: Sequence[SweepTask], timeout: Optional[float] = None
+) -> List[TaskResult]:
+    """Run one compile-key group in order (worker-side entry point).
+
+    All tasks of the group share a compile key, so the first task pays
+    the compile and the rest hit the worker's cache — error capture and
+    the wall-clock cap stay per task."""
+    return [execute_task(task, timeout=timeout) for task in group]
+
+
 @dataclass
 class CampaignConfig:
     """Execution knobs of one ``run_campaign`` invocation."""
@@ -173,12 +288,21 @@ class CampaignOutcome:
     errors: int
     timeouts: int
     remaining: int
+    #: compile-stage cache telemetry, aggregated over all workers
+    compile_cache_hits: int = 0
+    compile_cache_misses: int = 0
 
     def describe(self) -> str:
         bits = [
             f"{self.ran} task(s) run ({self.ok} ok, {self.errors} error, "
             f"{self.timeouts} timeout), {self.prior} restored from checkpoint"
         ]
+        priced = self.compile_cache_hits + self.compile_cache_misses
+        if priced:
+            bits.append(
+                f"compile cache: {self.compile_cache_hits}/{priced} hit(s) "
+                f"({self.compile_cache_misses} nest(s) compiled)"
+            )
         if self.remaining:
             bits.append(f"{self.remaining} still pending (resume to finish)")
         return f"campaign {self.path}: " + "; ".join(bits)
@@ -237,9 +361,10 @@ def run_campaign(
     )
 
     ran = ok = errors = timeouts = 0
+    cache_hits = cache_misses = 0
 
     def record(result: TaskResult) -> None:
-        nonlocal ran, ok, errors, timeouts
+        nonlocal ran, ok, errors, timeouts, cache_hits, cache_misses
         store.append(result)
         ran += 1
         if result.status == "ok":
@@ -248,21 +373,30 @@ def run_campaign(
             timeouts += 1
         else:
             errors += 1
+        if result.compile_cache_hit is True:
+            cache_hits += 1
+        elif result.compile_cache_hit is False:
+            cache_misses += 1
         if progress is not None:
             progress(result)
 
-    worker = partial(execute_task, timeout=config.timeout)
+    # cluster cells of one compiled nest so each group lands on one
+    # worker: K machine x mesh cells -> one compile + K prices
+    groups = group_by_compile_key(capped)
+    group_worker = partial(_execute_task_group, timeout=config.timeout)
     if config.jobs <= 1 or len(capped) <= 1:
-        for task in capped:
-            record(worker(task))
+        for group in groups:
+            for result in group_worker(group):
+                record(result)
     else:
         try:
             ctx = multiprocessing.get_context("fork")
         except ValueError:  # platform without fork
             ctx = multiprocessing.get_context()
         with ctx.Pool(processes=config.jobs) as pool:
-            for result in pool.imap_unordered(worker, capped, chunksize=1):
-                record(result)
+            for results in pool.imap_unordered(group_worker, groups, chunksize=1):
+                for result in results:
+                    record(result)
 
     return CampaignOutcome(
         path=out_path,
@@ -273,4 +407,6 @@ def run_campaign(
         errors=errors,
         timeouts=timeouts,
         remaining=len(pending) - len(capped),
+        compile_cache_hits=cache_hits,
+        compile_cache_misses=cache_misses,
     )

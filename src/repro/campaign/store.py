@@ -47,6 +47,11 @@ class TaskResult:
     baseline_time: float = 0.0
     error: Optional[str] = None
     seconds: float = field(default=0.0, compare=False)
+    #: whether this task's compile stage was served from the runner's
+    #: per-worker cache — in-memory telemetry only, *never* written to
+    #: the JSONL record (compile-once/price-many must leave the stored
+    #: records byte-identical to a recompile-every-cell run)
+    compile_cache_hit: Optional[bool] = field(default=None, compare=False)
 
     def deterministic_dict(self) -> Dict:
         """The payload minus wall-clock timing (resume-equality basis)."""
@@ -58,6 +63,7 @@ class TaskResult:
         d = asdict(self)
         d["record"] = "result"
         d["mesh"] = list(self.mesh)
+        d.pop("compile_cache_hit", None)
         return d
 
     @staticmethod
@@ -212,6 +218,11 @@ def summarize_results(results: Iterable[TaskResult]) -> List[Dict]:
             ),
             "seconds": sum(r.seconds for r in rs),
         }
+        # per-machine throughput trend line: cells priced per summed
+        # task-second of this (machine, mesh, m, knobs) group
+        row["tasks_per_second"] = (
+            len(rs) / row["seconds"] if row["seconds"] > 0 else None
+        )
         for k in CLASS_KEYS:
             row[k] = sum(r.counts.get(k, 0) for r in ok)
         rows.append(row)

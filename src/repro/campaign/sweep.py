@@ -49,6 +49,24 @@ class SweepTask:
     m: int
     rank_weights: bool
 
+    @property
+    def compile_key(self) -> str:
+        """Digest of everything the *compile* stage depends on.
+
+        ``two_step_heuristic`` and the Feautrier baseline are functions
+        of the workload, the virtual grid dimension and the heuristic
+        knobs alone — the machine and mesh only enter at pricing time.
+        Tasks sharing a compile key are grid cells of one compiled
+        nest; the runner clusters them per worker and compiles once
+        (see :mod:`repro.campaign.runner`).
+        """
+        spec = {
+            "workload": self.workload.to_dict(),
+            "m": self.m,
+            "rank_weights": self.rank_weights,
+        }
+        return hashlib.sha1(canonical_json(spec).encode()).hexdigest()[:12]
+
     @staticmethod
     def make(
         workload: Workload,
@@ -142,6 +160,26 @@ def grid_digest(tasks: Sequence[SweepTask]) -> str:
     caller holds the task list)."""
     ids = [t.task_id for t in tasks]
     return hashlib.sha1(canonical_json(ids).encode()).hexdigest()[:12]
+
+
+def group_by_compile_key(tasks: Sequence[SweepTask]) -> List[List[SweepTask]]:
+    """Cluster tasks sharing a :attr:`SweepTask.compile_key`, preserving
+    first-occurrence order (groups, and tasks within a group, keep the
+    grid's deterministic order).
+
+    The runner dispatches one group — all machine x mesh cells of one
+    compiled nest — to one worker, so the compile stage runs once per
+    group no matter how the pool schedules work.
+    """
+    groups: Dict[str, List[SweepTask]] = {}
+    order: List[str] = []
+    for t in tasks:
+        key = t.compile_key
+        if key not in groups:
+            groups[key] = []
+            order.append(key)
+        groups[key].append(t)
+    return [groups[k] for k in order]
 
 
 def default_spec(

@@ -42,9 +42,28 @@ class Distribution1D:
         """Physical processor owning virtual index ``v``."""
         raise NotImplementedError
 
+    def phys_array(self, v):
+        """Vectorized :meth:`phys` over a numpy integer array.
+
+        The built-in schemes override this with closed-form array
+        arithmetic; the fallback loops so third-party subclasses only
+        have to implement the scalar map.
+        """
+        import numpy as np
+
+        self.check_array(v)
+        return np.array([self.phys(int(x)) for x in np.ravel(v)]).reshape(
+            np.shape(v)
+        )
+
     def check(self, v: int) -> None:
         if not 0 <= v < self.n:
             raise IndexError(f"virtual index {v} out of range [0, {self.n})")
+
+    def check_array(self, v) -> None:
+        if v.size and (int(v.min()) < 0 or int(v.max()) >= self.n):
+            bad = int(v.min()) if int(v.min()) < 0 else int(v.max())
+            raise IndexError(f"virtual index {bad} out of range [0, {self.n})")
 
     def cells(self, proc: int) -> List[int]:
         """All virtual indices owned by ``proc`` (ascending)."""
@@ -63,6 +82,12 @@ class BlockDistribution(Distribution1D):
         self.check(v)
         return min(v // _ceil_div(self.n, self.p), self.p - 1)
 
+    def phys_array(self, v):
+        import numpy as np
+
+        self.check_array(v)
+        return np.minimum(v // _ceil_div(self.n, self.p), self.p - 1)
+
 
 class CyclicDistribution(Distribution1D):
     """Round-robin (HPF ``CYCLIC`` = ``CYCLIC(1)``)."""
@@ -71,6 +96,10 @@ class CyclicDistribution(Distribution1D):
 
     def phys(self, v: int) -> int:
         self.check(v)
+        return v % self.p
+
+    def phys_array(self, v):
+        self.check_array(v)
         return v % self.p
 
 
@@ -87,6 +116,10 @@ class BlockCyclicDistribution(Distribution1D):
 
     def phys(self, v: int) -> int:
         self.check(v)
+        return (v // self.block) % self.p
+
+    def phys_array(self, v):
+        self.check_array(v)
         return (v // self.block) % self.p
 
     def describe(self) -> str:
@@ -124,6 +157,16 @@ class GroupedDistribution(Distribution1D):
     def phys(self, v: int) -> int:
         pos = self.position(v)
         return min(pos // _ceil_div(self.n, self.p), self.p - 1)
+
+    def phys_array(self, v):
+        import numpy as np
+
+        self.check_array(v)
+        c = v % self.k
+        full = self.n // self.k
+        extra = self.n % self.k
+        pos = c * full + np.minimum(c, extra) + v // self.k
+        return np.minimum(pos // _ceil_div(self.n, self.p), self.p - 1)
 
     def describe(self) -> str:
         return f"GROUPED(k={self.k})(n={self.n}, P={self.p})"

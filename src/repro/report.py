@@ -68,7 +68,7 @@ def format_campaign_summary(rows: Sequence[Dict]) -> str:
     headers = [
         "machine", "mesh", "m", "rank_wt", "tasks", "ok", "err", "t/o",
         "local", "transl", "macro", "decomp", "general",
-        "resid", "base_resid", "base/heur", "secs",
+        "resid", "base_resid", "base/heur", "secs", "tasks/s",
     ]
     table_rows = [
         [
@@ -79,6 +79,7 @@ def format_campaign_summary(rows: Sequence[Dict]) -> str:
             r["general"], r["residuals"], r["baseline_residuals"],
             "-" if r["mean_time_ratio"] is None else r["mean_time_ratio"],
             r["seconds"],
+            "-" if r.get("tasks_per_second") is None else r["tasks_per_second"],
         ]
         for r in rows
     ]

@@ -7,15 +7,23 @@ vectorization coalesces them, then prices the result on a machine
 model.
 """
 
-from .executor import AccessCommStats, CommReport, count_nonlocal_virtual, execute
-from .mapping import CommEvent, Folding, MappedProgram
+from .executor import (
+    AccessCommStats,
+    CommReport,
+    count_nonlocal_virtual,
+    execute,
+    execute_python,
+)
+from .mapping import CommBatch, CommEvent, Folding, MappedProgram
 
 __all__ = [
     "Folding",
     "MappedProgram",
+    "CommBatch",
     "CommEvent",
     "CommReport",
     "AccessCommStats",
     "execute",
+    "execute_python",
     "count_nonlocal_virtual",
 ]

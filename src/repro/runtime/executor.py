@@ -1,10 +1,10 @@
 """Communication extraction, vectorization and costing.
 
-Turns the element-level :class:`~repro.runtime.mapping.CommEvent`
-stream of a mapped program into per-time-step message sets, applies
-message vectorization (Section 4.5) where the mapping allows it,
-recognizes macro-communications (costed with the machine's collective
-support when available) and prices everything on a machine model.
+Turns the element-level communications of a mapped program into
+per-time-step message sets, applies message vectorization (Section 4.5)
+where the mapping allows it, recognizes macro-communications (costed
+with the machine's collective support when available) and prices
+everything on a machine model.
 
 The report distinguishes, per access:
 
@@ -12,6 +12,20 @@ The report distinguishes, per access:
   communications of step 1; they cost nothing);
 * ``translation`` / ``macro`` / ``decomposed`` / ``general`` — as
   classified by step 2 of the heuristic.
+
+:func:`execute` is **vectorized**: it consumes the dense per-access
+arrays of :meth:`~repro.runtime.mapping.MappedProgram.comm_batches`
+(one row per element communication) and replaces the per-event Python
+bucketing with array reductions — virtual/physical locality masks are
+whole-column comparisons, the per-time-step phase split and the
+``(sender, receiver)`` pair coalescing are ``np.unique`` group-bys —
+feeding the already-vectorized ``phase_time`` one deduplicated message
+list per phase.  The original per-event implementation is kept as
+:func:`execute_python`; the two are bit-identical (asserted on
+randomized generated workloads and the paper's seed scenarios in
+``tests/runtime/test_runtime_vectorized.py`` and measured against each
+other in ``benchmarks/bench_runtime_exec.py`` — the same old-vs-new
+pattern as ``phase_time_python`` in the machine layer).
 """
 
 from __future__ import annotations
@@ -19,8 +33,10 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
+import numpy as np
+
 from ..machine import CM5Model, MachineModel, Message
-from .mapping import CommEvent, MappedProgram
+from .mapping import CommBatch, CommEvent, MappedProgram
 
 
 @dataclass
@@ -83,6 +99,49 @@ def _vectorizable(program: MappedProgram, label: str) -> bool:
         return False
 
 
+def _price_phase(
+    program: MappedProgram,
+    machine: MachineModel,
+    collectives: Optional[CM5Model],
+    st: AccessCommStats,
+    label: str,
+    n_events: int,
+    pairs: np.ndarray,
+    counts: np.ndarray,
+    payload: int,
+    rank: int,
+) -> float:
+    """Price one phase given its coalesced ``(sender, receiver)`` pairs
+    (rows of ``pairs``, multiplicities in ``counts``).  Returns the time
+    added (mirrors the per-phase body of :func:`execute_python`)."""
+    sizes = counts * payload
+    msgs = [
+        Message(
+            src=tuple(row[:rank]),
+            dst=tuple(row[rank:]),
+            size=int(sz),
+        )
+        for row, sz in zip(pairs.tolist(), sizes.tolist())
+    ]
+    st.messages_before_vectorization += n_events
+    st.messages_after_vectorization += len(msgs)
+    st.volume += int(sizes.sum())
+    if collectives is not None and st.classification == "macro":
+        opt = program.mapping.residual_by_label(label)
+        kind = opt.macro.kind.value if opt.macro else "broadcast"
+        size = int(sizes.max())
+        if kind == "reduction":
+            t = collectives.reduction_time(size)
+        else:
+            t = collectives.broadcast_time(size)
+        st.macro_ops += 1
+        st.time += t
+        return t
+    rep = machine.time_phase(msgs)
+    st.time += rep.time
+    return rep.time
+
+
 def execute(
     program: MappedProgram,
     machine: MachineModel,
@@ -98,8 +157,110 @@ def execute(
     — when given — prices the accesses the heuristic classified as
     macro-communications with hardware collective costs instead (the
     CM-5 situation of Table 1).
+
+    Vectorized over the program's :class:`CommBatch` arrays; the
+    per-event reference implementation is :func:`execute_python`
+    (bit-identical).
     """
-    events = program.comm_events()
+    batches = program.comm_batches()
+    rank = program.folding.rank
+    per_access: Dict[str, AccessCommStats] = {}
+    # per label: (time rows, sender|receiver pair rows) of the events
+    # that survive the locality filters, concatenated in event order
+    remaining: Dict[str, List[Tuple[np.ndarray, np.ndarray]]] = {}
+    for b in batches:
+        if b.n == 0:
+            # no events -> no stats entry, exactly like the per-event
+            # path (which only creates entries while iterating events)
+            continue
+        label = b.access_label
+        st = per_access.get(label)
+        if st is None:
+            st = AccessCommStats(
+                label=label,
+                classification=_classification_of(program, label),
+            )
+            per_access[label] = st
+        st.events += b.n
+        virt_local = np.all(b.sender_virtual == b.receiver_virtual, axis=1)
+        st.virtual_local += int(virt_local.sum())
+        nonlocal_mask = ~virt_local
+        phys_local = nonlocal_mask & np.all(b.sender == b.receiver, axis=1)
+        st.phys_local += int(phys_local.sum())
+        send = nonlocal_mask & ~phys_local
+        if send.any():
+            pair = np.concatenate((b.sender[send], b.receiver[send]), axis=1)
+            remaining.setdefault(label, []).append((b.times[send], pair))
+
+    total_time = 0.0
+    # phase pricing in the exact order of the python path: labels in
+    # sorted order, phases in ascending time order (np.unique rows are
+    # lexicographically sorted, matching tuple-sorted bucket keys)
+    for label in sorted(remaining):
+        st = per_access[label]
+        chunks = remaining[label]
+        pairs = np.concatenate([p for _, p in chunks], axis=0)
+        if _vectorizable(program, label):
+            # vectorization merges all time steps into one phase
+            upairs, counts = np.unique(pairs, axis=0, return_counts=True)
+            total_time += _price_phase(
+                program, machine, collectives, st, label,
+                pairs.shape[0], upairs, counts, payload, rank,
+            )
+            continue
+        if len({t.shape[1] for t, _ in chunks}) > 1:
+            # one label spanning statements with different schedule
+            # dimensionalities: bucket by time tuple like the python
+            # path (mixed-width rows cannot concatenate)
+            buckets: Dict[Tuple[int, ...], List[List[int]]] = {}
+            for t_arr, p_arr in chunks:
+                for trow, prow in zip(t_arr.tolist(), p_arr.tolist()):
+                    buckets.setdefault(tuple(trow), []).append(prow)
+            for tkey in sorted(buckets):
+                sel = np.array(buckets[tkey], dtype=np.int64)
+                upairs, counts = np.unique(sel, axis=0, return_counts=True)
+                total_time += _price_phase(
+                    program, machine, collectives, st, label,
+                    sel.shape[0], upairs, counts, payload, rank,
+                )
+            continue
+        times = np.concatenate([t for t, _ in chunks], axis=0)
+        utimes, inverse = np.unique(times, axis=0, return_inverse=True)
+        inverse = np.asarray(inverse).ravel()
+        for k in range(utimes.shape[0]):
+            sel = pairs[inverse == k]
+            upairs, counts = np.unique(sel, axis=0, return_counts=True)
+            total_time += _price_phase(
+                program, machine, collectives, st, label,
+                sel.shape[0], upairs, counts, payload, rank,
+            )
+
+    total_messages = sum(
+        s.messages_after_vectorization for s in per_access.values()
+    )
+    total_volume = sum(s.volume for s in per_access.values())
+    return CommReport(
+        per_access=per_access,
+        total_time=total_time,
+        total_messages=total_messages,
+        total_volume=total_volume,
+    )
+
+
+def execute_python(
+    program: MappedProgram,
+    machine: MachineModel,
+    collectives: Optional[CM5Model] = None,
+    payload: int = 1,
+) -> CommReport:
+    """Pure-Python reference implementation of :func:`execute`.
+
+    Builds one :class:`CommEvent` per access per domain point and
+    re-buckets them with Python dicts — the pre-vectorization behaviour,
+    kept as the measured baseline and bit-identity cross-check (same
+    pattern as ``phase_time_python``).
+    """
+    events = program.comm_events_python()
     per_access: Dict[str, AccessCommStats] = {}
     # bucket: (label, time) -> events
     buckets: Dict[Tuple[str, Tuple[int, ...]], List[CommEvent]] = {}
@@ -177,9 +338,18 @@ def execute(
 
 def count_nonlocal_virtual(program: MappedProgram) -> Dict[str, int]:
     """Per-access count of element communications that are non-local on
-    the *virtual* grid (mapping quality independent of folding)."""
+    the *virtual* grid (mapping quality independent of folding).
+
+    Vectorized over the program's (memoized) batches, so calling this
+    next to :func:`execute` costs no extra domain enumeration.
+    """
     out: Dict[str, int] = {}
-    for ev in program.comm_events():
-        if ev.sender_virtual != ev.receiver_virtual:
-            out[ev.access_label] = out.get(ev.access_label, 0) + 1
+    for b in program.comm_batches():
+        if b.n == 0:
+            continue
+        moved = int(
+            np.any(b.sender_virtual != b.receiver_virtual, axis=1).sum()
+        )
+        if moved:
+            out[b.access_label] = out.get(b.access_label, 0) + moved
     return out

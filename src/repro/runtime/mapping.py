@@ -13,12 +13,31 @@ Folding is dimension-generic: the physical target may be any N-D mesh
 per physical dimension.  The virtual grid dimension ``m`` must equal
 the mesh rank — a mismatch raises a friendly error instead of the old
 silent collapse-by-summation of extra virtual dimensions.
+
+The communication extraction is **vectorized**: each statement's
+rectangular iteration domain becomes one dense integer index matrix
+(``np.meshgrid`` over the bounds, points in ``itertools.product``
+order), affine accesses and virtual placements are evaluated as single
+integer matmuls over the whole domain, and :class:`Folding` applies its
+modular arithmetic to whole coordinate columns at once
+(:meth:`Folding.fold_array`).  The arrays — one :class:`CommBatch` per
+access — feed the executor's group-by pricing directly; the original
+per-element path is kept as :meth:`MappedProgram.comm_events_python`,
+the measured baseline that the vectorized path is asserted bit-identical
+against (same pattern as ``phase_time_python`` in the machine layer).
+The virtual-grid stage (schedule times, sender/receiver virtual
+coordinates) depends only on the mapping and the size bindings, so it is
+cached **on the mapping** and shared by every folding of the same
+compiled nest — the compile-once/price-many situation of the campaign
+runner.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
 
 from ..alignment import MappingResult
 from ..distribution import Distribution1D, make_1d
@@ -27,6 +46,10 @@ from ..linalg import IntMat
 
 Virtual = Tuple[int, ...]
 Phys = Tuple[int, ...]
+
+#: int64 safety bound shared with the IntMat fast paths: intermediate
+#: products beyond this fall back to the exact per-element Python path
+_INT64_SAFE = 2 ** 62
 
 
 @dataclass
@@ -116,6 +139,24 @@ class Folding:
             d.phys(v % self.extent) for d, v in zip(self._dists, virtual)
         )
 
+    def fold_array(self, virtual: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`fold` over an ``(n, rank)`` coordinate array.
+
+        Applies the shift-and-clamp modulo and the per-dimension 1-D
+        distribution to whole columns at once; bit-identical to the
+        scalar path (``%`` floor-mod semantics match between Python ints
+        and numpy int64).
+        """
+        if virtual.ndim != 2 or virtual.shape[1] != self.rank:
+            raise ValueError(
+                f"cannot fold a {virtual.shape}-shaped coordinate array "
+                f"onto a {self.rank}-D mesh: expected (n, {self.rank})"
+            )
+        out = np.empty_like(virtual)
+        for j, d in enumerate(self._dists):
+            out[:, j] = d.phys_array(virtual[:, j] % self.extent)
+        return out
+
 
 @dataclass
 class CommEvent:
@@ -131,6 +172,68 @@ class CommEvent:
     @property
     def is_local_phys(self) -> bool:
         return self.sender == self.receiver
+
+
+@dataclass
+class CommBatch:
+    """Dense array form of one access's element communications.
+
+    One row per iteration-domain point, in ``itertools.product`` order
+    (the exact order :meth:`MappedProgram.comm_events_python` emits
+    events in).  All arrays are int64.
+    """
+
+    access_label: str
+    stmt: str
+    #: (n, t) schedule time vectors
+    times: np.ndarray
+    #: (n, m) virtual coordinates
+    sender_virtual: np.ndarray
+    receiver_virtual: np.ndarray
+    #: (n, rank) folded physical coordinates
+    sender: np.ndarray
+    receiver: np.ndarray
+
+    @property
+    def n(self) -> int:
+        return self.sender_virtual.shape[0]
+
+
+def _domain_matrix(stmt, params: Dict[str, int]) -> np.ndarray:
+    """The statement's rectangular iteration domain as an ``(n, d)``
+    int64 matrix, points in ``itertools.product`` row-major order."""
+    ranges = [l.range(params) for l in stmt.loops]
+    if not ranges:
+        # a zero-depth statement has exactly one (empty) domain point,
+        # matching itertools.product() of no iterables
+        return np.empty((1, 0), dtype=np.int64)
+    if any(len(r) == 0 for r in ranges):
+        return np.empty((0, len(ranges)), dtype=np.int64)
+    axes = [np.arange(r.start, r.stop, dtype=np.int64) for r in ranges]
+    grids = np.meshgrid(*axes, indexing="ij")
+    return np.stack([g.ravel() for g in grids], axis=1)
+
+
+def _affine_rows(idx: np.ndarray, mat: IntMat, off: Optional[IntMat]) -> np.ndarray:
+    """Evaluate ``mat @ I + off`` for every domain row of ``idx`` in one
+    integer matmul: returns an ``(n, mat.nrows)`` array."""
+    out = idx @ mat.to_numpy().T
+    if off is not None:
+        out = out + off.to_numpy().T
+    return out
+
+
+def _vector_bound_ok(idx: np.ndarray, *stages) -> bool:
+    """Prove no int64 overflow is possible through the chained affine
+    stages ``(mat, off)`` applied to ``idx`` (same style as the IntMat
+    matmul fast-path bound).  Conservative: uses max-abs magnitudes."""
+    bound = int(abs(idx).max()) if idx.size else 0
+    for mat, off in stages:
+        k = mat.ncols
+        bound = k * mat.max_abs() * bound + (off.max_abs() if off is not None else 0)
+        if bound >= _INT64_SAFE:
+            return False
+    return True
 
 
 @dataclass
@@ -163,11 +266,17 @@ class MappedProgram:
         a = al.offset_of_array(array)
         return (m @ IntMat.col(list(subscripts)) + a).column_tuple(0)
 
-    def comm_events(self) -> List[CommEvent]:
-        """Element-level communications of the whole execution.
+    def comm_events_python(self) -> List[CommEvent]:
+        """Element-level communications of the whole execution, one
+        Python object per access per domain point.
 
         For a read, data flows array-owner -> statement processor; for
         a write, statement processor -> array owner.
+
+        This is the pre-vectorization reference path — the measured
+        baseline of ``bench_runtime_exec.py`` and the bit-identity
+        cross-check for :meth:`comm_batches` (see
+        ``tests/runtime/test_runtime_vectorized.py``).
         """
         out: List[CommEvent] = []
         nest = self.mapping.alignment.nest
@@ -194,4 +303,169 @@ class MappedProgram:
                             receiver=self.folding.fold(rv),
                         )
                     )
+        return out
+
+    # -- vectorized communication extraction ----------------------------
+
+    def _virtual_batches(self) -> List[Tuple[str, str, np.ndarray, np.ndarray, np.ndarray]]:
+        """Per access: ``(label, stmt, times, sender_v, receiver_v)``
+        arrays over the whole iteration domain.
+
+        Depends only on the mapping and the size bindings — not on the
+        folding — so the result is cached **on the mapping object**,
+        keyed by the bindings: every folding of the same compiled nest
+        (the campaign's machine x mesh grid cells) reuses one
+        evaluation.  The alignment's ``mutation_count`` is part of the
+        key, so a later ``rotate_component`` naturally invalidates
+        every entry cached before the rotation.
+        """
+        key = (
+            tuple(sorted(self.params.items())),
+            self.mapping.alignment.mutation_count,
+        )
+        cache = self.mapping.__dict__.setdefault("_virtual_batch_cache", {})
+        hit = cache.get(key)
+        if hit is not None:
+            return hit
+        al = self.mapping.alignment
+        sched = self.mapping.schedules
+        out = []
+        for stmt in al.nest.statements:
+            idx = _domain_matrix(stmt, self.params)
+            theta = sched.schedule_of(stmt.name).theta
+            m_s = al.allocation_of_stmt(stmt.name)
+            a_s = al.offset_of_stmt(stmt.name)
+            if not _vector_bound_ok(idx, (theta, None)) or not _vector_bound_ok(
+                idx, (m_s, a_s)
+            ):
+                cache[key] = None  # poison: caller falls back per call
+                return None
+            times = _affine_rows(idx, theta, None)
+            stmt_v = _affine_rows(idx, m_s, a_s)
+            for acc in stmt.accesses:
+                label = acc.label or f"{stmt.name}:{acc.array}"
+                m_x = al.allocation_of_array(acc.array)
+                a_x = al.offset_of_array(acc.array)
+                if not _vector_bound_ok(idx, (acc.F, acc.c), (m_x, a_x)):
+                    cache[key] = None
+                    return None
+                owner_v = _affine_rows(
+                    _affine_rows(idx, acc.F, acc.c), m_x, a_x
+                )
+                if acc.kind is AccessKind.READ:
+                    sv, rv = owner_v, stmt_v
+                else:
+                    sv, rv = stmt_v, owner_v
+                out.append((label, stmt.name, times, sv, rv))
+        cache[key] = out
+        return out
+
+    def comm_batches(self) -> List[CommBatch]:
+        """The communications of :meth:`comm_events_python` as dense
+        per-access arrays (one :class:`CommBatch` per access, rows in
+        event order), memoized on the program instance.
+
+        Falls back to building the batches from the per-element path in
+        the (pathological) case where the int64 overflow bound cannot be
+        proven for the affine stages.
+        """
+        gen = self.mapping.alignment.mutation_count
+        cached = self.__dict__.get("_comm_batches")
+        if cached is not None and cached[0] == gen:
+            return cached[1]
+        virtual = self._virtual_batches()
+        if virtual is None:
+            batches = self._batches_from_events(self.comm_events_python())
+        else:
+            batches = [
+                CommBatch(
+                    access_label=label,
+                    stmt=stmt,
+                    times=times,
+                    sender_virtual=sv,
+                    receiver_virtual=rv,
+                    sender=self._fold_batch(sv),
+                    receiver=self._fold_batch(rv),
+                )
+                for label, stmt, times, sv, rv in virtual
+            ]
+        self.__dict__["_comm_batches"] = (gen, batches)
+        return batches
+
+    def _fold_batch(self, virtual: np.ndarray) -> np.ndarray:
+        if virtual.shape[0] == 0:
+            return np.empty_like(virtual)
+        return self.folding.fold_array(virtual)
+
+    def _batches_from_events(self, events: List[CommEvent]) -> List[CommBatch]:
+        """Exact-arithmetic fallback: regroup the per-element event
+        stream (statement-major, ``itertools.product`` order — exactly
+        how :meth:`comm_events_python` emits it) into the batch layout."""
+
+        def rows(vals: List[Tuple[int, ...]], width: int) -> np.ndarray:
+            return np.array(vals, dtype=np.int64).reshape(len(vals), width)
+
+        m = self.mapping.alignment.m
+        rank = self.folding.rank
+        sched = self.mapping.schedules
+        batches: List[CommBatch] = []
+        pos = 0
+        for stmt in self.mapping.alignment.nest.statements:
+            n = stmt.domain_size(self.params)
+            t_dims = sched.schedule_of(stmt.name).time_dims
+            for acc in stmt.accesses:
+                label = acc.label or f"{stmt.name}:{acc.array}"
+                evs = events[pos : pos + n]
+                pos += n
+                batches.append(
+                    CommBatch(
+                        access_label=label,
+                        stmt=stmt.name,
+                        times=rows([e.time for e in evs], t_dims),
+                        sender_virtual=rows(
+                            [e.sender_virtual for e in evs], m
+                        ),
+                        receiver_virtual=rows(
+                            [e.receiver_virtual for e in evs], m
+                        ),
+                        sender=rows([e.sender for e in evs], rank),
+                        receiver=rows([e.receiver for e in evs], rank),
+                    )
+                )
+        return batches
+
+    def comm_events(self) -> List[CommEvent]:
+        """Element-level communications of the whole execution (same
+        list as :meth:`comm_events_python`), memoized on the instance —
+        ``execute()`` and ``count_nonlocal_virtual()`` no longer
+        re-enumerate the iteration domain on separate calls.
+
+        Built from the vectorized :meth:`comm_batches` arrays; the
+        object construction only happens when a caller actually wants
+        per-element events.
+        """
+        gen = self.mapping.alignment.mutation_count
+        cached = self.__dict__.get("_comm_events")
+        if cached is not None and cached[0] == gen:
+            return cached[1]
+        out: List[CommEvent] = []
+        for b in self.comm_batches():
+            label = b.access_label
+            times = [tuple(t) for t in b.times.tolist()]
+            svs = [tuple(v) for v in b.sender_virtual.tolist()]
+            rvs = [tuple(v) for v in b.receiver_virtual.tolist()]
+            sps = [tuple(p) for p in b.sender.tolist()]
+            rps = [tuple(p) for p in b.receiver.tolist()]
+            for t, sv, rv, sp, rp in zip(times, svs, rvs, sps, rps):
+                out.append(
+                    CommEvent(
+                        access_label=label,
+                        time=t,
+                        sender_virtual=sv,
+                        receiver_virtual=rv,
+                        sender=sp,
+                        receiver=rp,
+                    )
+                )
+        self.__dict__["_comm_events"] = (gen, out)
         return out

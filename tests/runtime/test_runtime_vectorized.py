@@ -1,0 +1,212 @@
+"""Vectorized runtime core vs the per-element Python baselines.
+
+The dense-array communication extraction (`MappedProgram.comm_batches`
+feeding the `np.unique`-based `execute`) must be **bit-identical** to
+the original per-event path (`comm_events_python` / `execute_python`)
+— on the paper's seed scenarios and on randomized generated workloads
+(the campaign generator's full shape vocabulary: mixed depths, perfect
+and non-perfect nests, unimodular / selection / rank-deficient
+accesses).  Same old-vs-new pattern as ``phase_time_python`` in the
+machine layer.
+"""
+
+import pytest
+
+from repro import compile_nest
+from repro.campaign import generate_workloads
+from repro.ir import motivating_example, platonoff_example
+from repro.machine import CM5Model, ParagonModel, machine_spec
+from repro.runtime import count_nonlocal_virtual, execute, execute_python
+
+PARAMS = {"N": 3, "M": 3}
+
+
+def _compiled_program(nest_or_src, m=2, machine=None, params=None, **kw):
+    params = params or PARAMS
+    c = compile_nest(nest_or_src, m=m, params=params, **kw)
+    machine = machine or ParagonModel(2, 2)
+    return c, c.program(machine, params), machine
+
+
+class TestSeedScenarios:
+    def test_motivating_example_bit_identical(self):
+        _c, prog, machine = _compiled_program(motivating_example())
+        assert prog.comm_events() == prog.comm_events_python()
+        assert execute(prog, machine) == execute_python(prog, machine)
+
+    def test_motivating_with_collectives_bit_identical(self):
+        _c, prog, machine = _compiled_program(motivating_example())
+        cm5 = CM5Model()
+        assert execute(prog, machine, collectives=cm5) == execute_python(
+            prog, machine, collectives=cm5
+        )
+
+    def test_platonoff_example_bit_identical(self):
+        _c, prog, machine = _compiled_program(
+            platonoff_example(), params={"n": 3}
+        )
+        assert prog.comm_events() == prog.comm_events_python()
+        assert execute(prog, machine) == execute_python(prog, machine)
+
+    def test_payload_scaling_bit_identical(self):
+        _c, prog, machine = _compiled_program(motivating_example())
+        assert execute(prog, machine, payload=7) == execute_python(
+            prog, machine, payload=7
+        )
+
+    def test_3d_path_bit_identical(self):
+        spec = machine_spec("t3d")
+        machine = spec.make((2, 2, 2))
+        src = (
+            "array a(3), b(3)\n"
+            "for i = 0..N:\n"
+            "  for j = 0..N:\n"
+            "    for k = 0..N:\n"
+            "      S: a[i, j, k] = f(b[j, i, k])\n"
+        )
+        c = compile_nest(src, m=3, params={"N": 3})
+        prog = c.program(machine, {"N": 3})
+        assert prog.comm_events() == prog.comm_events_python()
+        assert execute(prog, machine) == execute_python(prog, machine)
+
+
+class TestGeneratedWorkloads:
+    """Property check over the campaign generator's corpus: every
+    (deterministic) generated nest prices identically on both paths."""
+
+    @pytest.fixture(scope="class")
+    def workloads(self):
+        return generate_workloads(seed=7, count=12)
+
+    def test_comm_events_bit_identical(self, workloads):
+        for wl in workloads:
+            nest = wl.resolve()
+            c = compile_nest(nest, m=2, params=dict(wl.params), name=wl.name)
+            prog = c.program(ParagonModel(2, 2), dict(wl.params))
+            assert prog.comm_events() == prog.comm_events_python(), wl.name
+
+    def test_execute_bit_identical(self, workloads):
+        cm5 = CM5Model()
+        for wl in workloads:
+            nest = wl.resolve()
+            c = compile_nest(nest, m=2, params=dict(wl.params), name=wl.name)
+            for mesh in ((2, 2), (4, 4)):
+                machine = ParagonModel(*mesh)
+                prog = c.program(machine, dict(wl.params))
+                assert execute(prog, machine) == execute_python(
+                    prog, machine
+                ), (wl.name, mesh)
+                assert execute(prog, machine, collectives=cm5) == (
+                    execute_python(prog, machine, collectives=cm5)
+                ), (wl.name, mesh)
+
+    def test_empty_domain_bit_identical(self):
+        """Bindings that empty a loop range: both executors produce the
+        same (empty) per-access map."""
+        c = compile_nest(motivating_example(), m=2)
+        machine = ParagonModel(2, 2)
+        prog = c.program(machine, {"N": 0, "M": 0})
+        assert execute(prog, machine) == execute_python(prog, machine)
+        assert prog.comm_events() == prog.comm_events_python()
+
+    def test_count_nonlocal_virtual_matches_python(self, workloads):
+        for wl in workloads[:6]:
+            nest = wl.resolve()
+            c = compile_nest(nest, m=2, params=dict(wl.params), name=wl.name)
+            prog = c.program(ParagonModel(2, 2), dict(wl.params))
+            ref = {}
+            for ev in prog.comm_events_python():
+                if ev.sender_virtual != ev.receiver_virtual:
+                    ref[ev.access_label] = ref.get(ev.access_label, 0) + 1
+            assert count_nonlocal_virtual(prog) == ref, wl.name
+
+
+class TestMemoization:
+    def test_comm_events_memoized_on_instance(self):
+        _c, prog, _machine = _compiled_program(motivating_example())
+        first = prog.comm_events()
+        assert prog.comm_events() is first
+
+    def test_execute_and_count_share_batches(self):
+        _c, prog, machine = _compiled_program(motivating_example())
+        execute(prog, machine)
+        first = prog.comm_batches()
+        count_nonlocal_virtual(prog)
+        assert prog.comm_batches() is first
+
+    def test_rotation_invalidates_cached_batches(self):
+        """A component rotation after pricing must not leave stale
+        virtual coordinates in any cache: both executors agree before
+        and after."""
+        from repro.linalg import IntMat
+
+        c = compile_nest(motivating_example(), m=2, params=PARAMS)
+        machine = ParagonModel(2, 2)
+        prog = c.program(machine, PARAMS)
+        execute(prog, machine)  # populate mapping + program caches
+        al = c.mapping.alignment
+        root = next(iter(set(al.component_root_of.values())))
+        al.rotate_component(root, IntMat([[0, 1], [1, 0]]))
+        rotated = c.program(machine, PARAMS)
+        assert execute(rotated, machine) == execute_python(rotated, machine)
+        # the old program instance also recomputes instead of serving
+        # pre-rotation arrays
+        assert execute(prog, machine) == execute_python(prog, machine)
+
+    def test_virtual_stage_shared_across_foldings(self):
+        """Two programs over the same mapping (different meshes — the
+        campaign's price-many case) share one virtual-stage cache entry
+        on the mapping."""
+        c = compile_nest(motivating_example(), m=2, params=PARAMS)
+        p1 = c.program(ParagonModel(2, 2), PARAMS)
+        p1.comm_batches()
+        cache = c.mapping.__dict__.get("_virtual_batch_cache")
+        assert cache is not None and len(cache) == 1
+        p2 = c.program(ParagonModel(4, 4), PARAMS)
+        p2.comm_batches()
+        assert len(c.mapping.__dict__["_virtual_batch_cache"]) == 1
+
+    def test_distinct_programs_price_identically(self):
+        """Memoization never leaks across different foldings."""
+        c = compile_nest(motivating_example(), m=2, params=PARAMS)
+        m_small, m_big = ParagonModel(2, 2), ParagonModel(4, 4)
+        r_small = execute(c.program(m_small, PARAMS), m_small)
+        r_big = execute(c.program(m_big, PARAMS), m_big)
+        assert r_small == execute_python(c.program(m_small, PARAMS), m_small)
+        assert r_big == execute_python(c.program(m_big, PARAMS), m_big)
+
+
+class TestFoldArray:
+    def test_fold_array_matches_scalar_fold(self):
+        import numpy as np
+
+        from repro.machine import Mesh2D
+        from repro.runtime import Folding
+
+        for schemes in (None, ("block", "grouped"), ("cyclic_block", "cyclic")):
+            kw = {}
+            if schemes == ("block", "grouped"):
+                kw = {"scheme_kw": ({}, {"k": 3})}
+            elif schemes == ("cyclic_block", "cyclic"):
+                kw = {"scheme_kw": ({"block": 2}, {})}
+            f = Folding(
+                mesh=Mesh2D(3, 4), extent=12,
+                **({"schemes": schemes, **kw} if schemes else {}),
+            )
+            virt = np.array(
+                [[v, w] for v in range(-15, 16, 3) for w in range(-5, 20, 4)],
+                dtype=np.int64,
+            )
+            folded = f.fold_array(virt)
+            for row, out in zip(virt.tolist(), folded.tolist()):
+                assert tuple(out) == f.fold(tuple(row))
+
+    def test_fold_array_shape_mismatch_rejected(self):
+        import numpy as np
+
+        from repro.machine import Mesh2D
+        from repro.runtime import Folding
+
+        f = Folding(mesh=Mesh2D(2, 2), extent=4)
+        with pytest.raises(ValueError, match="expected"):
+            f.fold_array(np.zeros((3, 3), dtype=np.int64))
