@@ -46,6 +46,31 @@ def series(label: str, xs: Sequence, ys: Sequence[float]) -> None:
     print(f"  {label}: {pairs}")
 
 
+def previous_stat(name: str, section: str, key: str) -> float:
+    """A numeric stat from the ``BENCH_<name>.json`` currently on disk
+    (0.0 when the artifact, section or key does not exist yet) — the
+    trend-delta baseline the campaign gates record against."""
+    path = os.path.join(
+        os.path.dirname(os.path.abspath(__file__)), f"BENCH_{name}.json"
+    )
+    try:
+        with open(path) as fh:
+            return float(json.load(fh)[section][key])
+    except (OSError, ValueError, KeyError, TypeError):
+        return 0.0
+
+
+def mean_residual_ratio(rows) -> float:
+    """Mean per-group Feautrier residual ratio of ``summarize_results``
+    rows (0.0 when no group has a ratio) — the campaign quality trend
+    recorded next to the throughput trend."""
+    ratios = [
+        row["residual_ratio"] for row in rows
+        if row.get("residual_ratio") is not None
+    ]
+    return sum(ratios) / len(ratios) if ratios else 0.0
+
+
 def record_bench(name: str, stats: Mapping, section: str = "") -> str:
     """Persist one benchmark's measurements as ``BENCH_<name>.json``.
 

@@ -53,16 +53,11 @@ def _grid():
     return spec, spec.expand()
 
 
-def _previous_tasks_per_second() -> float:
-    """The ``grid_2d`` throughput currently on disk (for the delta)."""
-    path = os.path.join(
-        os.path.dirname(os.path.abspath(__file__)), "BENCH_campaign.json"
-    )
-    try:
-        with open(path) as fh:
-            return float(json.load(fh)["grid_2d"]["tasks_per_second"])
-    except (OSError, ValueError, KeyError, TypeError):
-        return 0.0
+def _previous(key: str) -> float:
+    """A ``grid_2d`` stat currently on disk (for the trend deltas)."""
+    from _harness import previous_stat
+
+    return previous_stat("campaign", "grid_2d", key)
 
 
 def test_campaign_default_grid_gate(tmp_path, benchmark):
@@ -120,9 +115,14 @@ def test_campaign_default_grid_gate(tmp_path, benchmark):
             pytest.fail(msg)
         warnings.warn(msg + " (non-strict mode: recorded, not failed)")
 
+    from _harness import mean_residual_ratio, record_bench
+
+    # per-group Feautrier residual ratios: the scenario-quality trend
+    # line recorded next to the throughput trend
+    mean_ratio = mean_residual_ratio(rows)
     compile_seconds = sum(r.seconds for r in results.values())
-    prev = _previous_tasks_per_second()
-    from _harness import record_bench
+    prev = _previous("tasks_per_second")
+    prev_ratio = _previous("mean_residual_ratio")
 
     # the 2-D entry of BENCH_campaign.json; bench_mesh3d_e2e.py records
     # the 3-D (t3d) grid under "grid_3d" in the same artifact
@@ -148,6 +148,9 @@ def test_campaign_default_grid_gate(tmp_path, benchmark):
             },
             "tasks_per_second_prev": prev,
             "tasks_per_second_delta": round(tasks_per_second - prev, 2),
+            "mean_residual_ratio": round(mean_ratio, 4),
+            "mean_residual_ratio_prev": prev_ratio,
+            "mean_residual_ratio_delta": round(mean_ratio - prev_ratio, 4),
             "baseline_tasks_per_second": BASELINE_TASKS_PER_SECOND,
             "speedup_vs_recompiling_baseline": round(
                 tasks_per_second / BASELINE_TASKS_PER_SECOND, 2

@@ -1,17 +1,16 @@
-"""End-to-end m = 3 campaign gate: the T3D backend through the whole
-pipeline.
+"""End-to-end triangular-domain campaign gate.
 
-Not a paper artefact — the 3-D twin of the campaign shape gate in
-``bench_campaign_throughput.py``: a small m = 3 grid (generated
-workloads + the named corpus on a ``2x2x2`` cube against the ``t3d``
-registry machine) must complete with **all tasks ok and zero
-error/timeout records**, resume must be a no-op on a completed run, and
-the measured nests-compiled-per-second lands in ``BENCH_campaign.json``
-under the ``grid_3d`` section, alongside the 2-D entry.
+Not a paper artefact — the polyhedral-domain twin of the campaign shape
+gates: a seeded *triangular* corpus (the LU/Cholesky/back-substitution
+kernels plus generated triangular/trapezoidal nests) swept against
+``paragon`` on a ``4x4`` mesh (m = 2) **and** ``t3d`` on a ``2x2x2``
+cube (m = 3) must complete with **all tasks ok and zero error/timeout
+records**, resume must be a no-op on a completed run, and the measured
+throughput + per-group Feautrier residual ratios land in
+``BENCH_campaign.json`` under the ``grid_triangular`` section,
+alongside the rectangular 2-D/3-D entries.
 """
 
-import json
-import os
 import time
 
 from repro.campaign import (
@@ -25,32 +24,37 @@ from repro.campaign import (
 SEED = 0
 NESTS = 4
 JOBS = 2
-MESH = (2, 2, 2)
+MESHES = ((4, 4), (2, 2, 2))
+MACHINES = ("paragon", "t3d")
+MS = (2, 3)
 
 
 def _previous(key: str) -> float:
-    """A ``grid_3d`` stat currently on disk (for the trend deltas)."""
+    """A ``grid_triangular`` stat currently on disk (for the deltas)."""
     from _harness import previous_stat
 
-    return previous_stat("campaign", "grid_3d", key)
+    return previous_stat("campaign", "grid_triangular", key)
 
 
 def _grid():
     spec = default_spec(
         seed=SEED,
         nests=NESTS,
-        machines=("t3d",),
-        meshes=(MESH,),
-        ms=(3,),
+        machines=MACHINES,
+        meshes=MESHES,
+        ms=MS,
+        shapes=("tri",),
     )
     return spec, spec.expand()
 
 
-def test_mesh3d_campaign_gate(tmp_path, benchmark):
-    """Shape gate + throughput measurement on the m = 3 grid."""
+def test_triangular_campaign_gate(tmp_path, benchmark):
+    """Shape gate + throughput measurement on the triangular grid."""
     spec, tasks = _grid()
     meta = {"spec_digest": spec.digest()}
-    out = str(tmp_path / "bench3d.jsonl")
+    out = str(tmp_path / "tri.jsonl")
+    # mixed-rank grid: every workload prices on both compatible cells
+    assert len(tasks) == 2 * (NESTS + 4)  # generated + 4 corpus kernels
 
     t0 = time.perf_counter()
     outcome = run_campaign(tasks, out, CampaignConfig(jobs=JOBS), meta=meta)
@@ -75,18 +79,24 @@ def test_mesh3d_campaign_gate(tmp_path, benchmark):
     _, results = RunStore(out).load()
     rows = summarize_results(results.values())
     assert all(row["errors"] == 0 and row["timeouts"] == 0 for row in rows)
-    assert all(row["machine"] == "t3d" and row["m"] == 3 for row in rows)
-    assert all(row["mesh"] == "2x2x2" for row in rows)
+    assert {row["machine"] for row in rows} == set(MACHINES)
+    assert {row["mesh"] for row in rows} == {"4x4", "2x2x2"}
     # the two-step heuristic should never *lose* to greedy step 1
     assert all(
         row["residuals"] <= row["baseline_residuals"] for row in rows
     )
-
     from _harness import mean_residual_ratio, record_bench
 
+    # residual-ratio trend lines are present per group (quality drift)
+    ratios = [
+        row["residual_ratio"] for row in rows
+        if row["residual_ratio"] is not None
+    ]
+    assert ratios and all(r <= 1.0 for r in ratios)
     mean_ratio = mean_residual_ratio(rows)
-    compile_seconds = sum(r.seconds for r in results.values())
-    prev = _previous("tasks_per_second")
+
+    tasks_per_second = len(tasks) / wall
+    prev_tps = _previous("tasks_per_second")
     prev_ratio = _previous("mean_residual_ratio")
 
     record_bench(
@@ -94,26 +104,25 @@ def test_mesh3d_campaign_gate(tmp_path, benchmark):
         {
             "seed": SEED,
             "generated_nests": NESTS,
-            "machine": "t3d",
-            "mesh": "x".join(str(d) for d in MESH),
-            "m": 3,
+            "shapes": ["tri"],
+            "machines": list(MACHINES),
+            "meshes": ["x".join(str(d) for d in mm) for mm in MESHES],
+            "m": list(MS),
             "tasks": len(tasks),
             "jobs": JOBS,
             "wall_seconds": round(wall, 3),
-            "task_compile_seconds": round(compile_seconds, 3),
-            "tasks_per_second": round(len(tasks) / wall, 2),
-            "nests_compiled_per_second": round(len(tasks) / wall, 2),
+            "tasks_per_second": round(tasks_per_second, 2),
             "unique_compiles": outcome.compile_cache_misses,
             "compile_cache": {
                 "hits": outcome.compile_cache_hits,
                 "misses": outcome.compile_cache_misses,
             },
-            "tasks_per_second_prev": prev,
-            "tasks_per_second_delta": round(len(tasks) / wall - prev, 2),
+            "tasks_per_second_prev": prev_tps,
+            "tasks_per_second_delta": round(tasks_per_second - prev_tps, 2),
             "mean_residual_ratio": round(mean_ratio, 4),
             "mean_residual_ratio_prev": prev_ratio,
             "mean_residual_ratio_delta": round(mean_ratio - prev_ratio, 4),
             "summary_rows": rows,
         },
-        section="grid_3d",
+        section="grid_triangular",
     )

@@ -33,12 +33,22 @@ Registered subsystem gates (beyond the paper artefacts):
   ``grid_3d`` in the same artifact;
 * ``bench_runtime_exec.py`` — vectorized runtime executor vs the
   per-element Python baseline (bit-identity + >= 5x floor), recorded in
-  ``BENCH_runtime_exec.json``.
+  ``BENCH_runtime_exec.json``;
+* ``bench_legality.py`` — vectorized schedule-legality checker vs the
+  per-element Python baseline (bit-identity on seed + 50 generated
+  workloads always; >= 5x floor in strict mode), recorded in
+  ``BENCH_legality.json``;
+* ``bench_triangular_campaign.py`` — the triangular-domain campaign
+  gate (LU/Cholesky/back-substitution corpus + generated triangular
+  nests against ``paragon`` 4x4 and ``t3d`` 2x2x2, zero error records),
+  recorded under ``grid_triangular`` in ``BENCH_campaign.json``.
 
 ``--profile`` runs the reference scenarios (an inline campaign grid +
 the reference pricing workload) under ``cProfile`` and writes the top
 cumulative-time hotspots to ``BENCH_profile.json`` — the per-PR answer
-to "where do the cycles go now?".
+to "where do the cycles go now?".  Since the legality fast path landed
+it also *asserts* that ``schedule_is_legal`` has left the top-10
+hotspot list (exit 1 if the compile-side regression ever returns).
 """
 
 from __future__ import annotations
@@ -138,6 +148,24 @@ def run_profile(top_n: int = PROFILE_TOP_N) -> int:
             f"  {r['cumtime_s']:>8.3f}s  {r['function']} "
             f"({r['file']}:{r['line']})"
         )
+
+    # the PR-5 regression gate: the legality checker's bounded witness
+    # enumeration used to dominate compile time; the vectorized domain
+    # path must keep it out of the top-10 hotspots
+    offenders = [
+        r["function"]
+        for r in rows[:10]
+        if r["function"] in ("schedule_is_legal", "schedule_violations")
+    ]
+    if offenders:
+        print(
+            f"FAIL: {', '.join(sorted(set(offenders)))} back in the "
+            "top-10 hotspot list — the legality fast path regressed "
+            "(see BENCH_profile.json)",
+            file=sys.stderr,
+        )
+        return 1
+    print("gate ok: schedule_is_legal is out of the top-10 hotspots")
     return 0
 
 

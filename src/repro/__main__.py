@@ -15,6 +15,16 @@ workloads (see :mod:`repro.campaign`)::
     python -m repro campaign run --resume ...     # or: campaign resume
     python -m repro campaign summarize runs/demo.jsonl
 
+``--shapes`` selects the workload families: ``rect`` (the historical
+rectangular generator + corpus, the default), ``tri`` (triangular/
+trapezoidal nests — LU, Cholesky, back-substitution and the seeded
+triangular generator, through the polyhedral domain layer) or ``both``.
+Multi-host campaigns partition one grid by stable task-id prefix and
+merge the shard outputs::
+
+    python -m repro campaign run --shard 0/3 --out runs/shard0.jsonl ...
+    python -m repro campaign merge --out runs/all.jsonl runs/shard*.jsonl
+
 ``--mesh`` accepts 2-D ``PxQ`` and 3-D ``PxQxR`` specs; machines come
 from the :mod:`repro.machine` registry (``paragon``/``cm5`` want 2-D
 meshes with ``--m 2``, ``t3d`` wants 3-D meshes with ``--m 3``), e.g.::
@@ -83,6 +93,24 @@ def _parse_int(text: str, flag: str) -> int:
         return int(text)
     except ValueError:
         raise CliError(f"bad {flag} {text!r}: expected an integer") from None
+
+
+def _parse_shard(text: str) -> Tuple[int, int]:
+    """Parse an ``I/N`` shard spec (0-based index, positive count)."""
+    idx, sep, cnt = text.partition("/")
+    try:
+        if not sep:
+            raise ValueError
+        i, n = int(idx), int(cnt)
+    except ValueError:
+        raise CliError(
+            f"bad --shard {text!r}: expected I/N (e.g. --shard 0/3)"
+        ) from None
+    if n <= 0 or not 0 <= i < n:
+        raise CliError(
+            f"bad --shard {text!r}: need 0 <= I < N with N positive"
+        )
+    return i, n
 
 
 def _add_common_args(ap: argparse.ArgumentParser, campaign: bool = False) -> None:
@@ -158,6 +186,9 @@ def map_main(argv: List[str]) -> int:
         return 2
     nest = parse_nest(source, name=args.nest_file)
     print(nest.describe())
+    for s in nest.statements:
+        if not s.is_rectangular:
+            print(f"  {s.name} iterates a {s.domain.describe()}")
     print()
 
     schedules = None
@@ -233,6 +264,17 @@ def _campaign_parser() -> argparse.ArgumentParser:
             help="generated workloads only (skip the named corpus)",
         )
         p.add_argument(
+            "--shapes", choices=("rect", "tri", "both"), default="rect",
+            help="workload shape families: rectangular nests, "
+            "triangular/trapezoidal nests, or both (default: rect)",
+        )
+        p.add_argument(
+            "--shard", default=None, metavar="I/N",
+            help="run only the I-th of N stable grid partitions "
+            "(by task-id prefix; merge shard outputs with "
+            "'campaign merge')",
+        )
+        p.add_argument(
             "--timeout", type=float, default=None, metavar="SECS",
             help="per-task wall-clock cap",
         )
@@ -255,6 +297,23 @@ def _campaign_parser() -> argparse.ArgumentParser:
 
     s = sub.add_parser("summarize", help="aggregate a result file")
     s.add_argument("results", help="JSONL file written by campaign run")
+
+    g = sub.add_parser(
+        "merge",
+        help="concatenate + dedupe shard JSONL files into one store",
+    )
+    g.add_argument("--out", required=True, help="merged JSONL output file")
+    g.add_argument(
+        "--force", action="store_true",
+        help="overwrite an existing --out",
+    )
+    g.add_argument(
+        "--allow-mixed", action="store_true",
+        help="merge shards even when their grid digests disagree "
+        "(normally refused: mixed-grid stores are almost always an "
+        "accident)",
+    )
+    g.add_argument("shards", nargs="+", help="shard JSONL files to merge")
     return ap
 
 
@@ -267,10 +326,41 @@ def campaign_main(argv: List[str]) -> int:
         RunStore,
         default_spec,
         grid_digest,
+        merge_stores,
         run_campaign,
+        shard_tasks,
         summarize_results,
     )
     from .report import format_campaign_summary, format_mesh
+
+    if args.cmd == "merge":
+        import os
+
+        if os.path.exists(args.out) and not args.force:
+            raise CliError(
+                f"{args.out} already exists: pass --force to overwrite"
+            )
+        try:
+            summary = merge_stores(
+                args.shards, args.out, force=args.allow_mixed
+            )
+        except ValueError as exc:
+            raise CliError(str(exc)) from None
+        if summary["skipped_lines"]:
+            print(
+                f"note: skipped {summary['skipped_lines']} undecodable "
+                "line(s) across shards (truncated checkpoint?)",
+                file=sys.stderr,
+            )
+        print(
+            f"merged {summary['shards']} shard(s) into {args.out}: "
+            f"{summary['results']} result(s), "
+            f"{summary['duplicates']} duplicate(s) dropped"
+        )
+        _, results = RunStore(args.out).load()
+        print()
+        print(format_campaign_summary(summarize_results(results.values())))
+        return 0
 
     if args.cmd == "summarize":
         store = RunStore(args.results)
@@ -294,6 +384,10 @@ def campaign_main(argv: List[str]) -> int:
         "on": (True,), "off": (False,), "both": (True, False),
     }[args.rank_weights]
     params = _parse_params(args.params) or None
+    shapes = {
+        "rect": ("rect",), "tri": ("tri",), "both": ("rect", "tri"),
+    }[args.shapes]
+    shard = _parse_shard(args.shard) if args.shard else None
 
     import os
 
@@ -313,12 +407,15 @@ def campaign_main(argv: List[str]) -> int:
             ms=ms,
             rank_weights=rank_weights,
             params=params,
+            shapes=shapes,
         )
         tasks = spec.expand()
     except (ValueError, RuntimeError) as exc:
         # ValueError: unknown machine / repeated grid cell; RuntimeError:
         # generator stalled (e.g. bindings that reject every candidate)
         raise CliError(str(exc)) from None
+    # the digest names the FULL grid (shards of one campaign share it,
+    # which is what lets `campaign merge` verify they belong together)
     digest = grid_digest(tasks)
     meta = {
         "spec_digest": digest,
@@ -329,8 +426,18 @@ def campaign_main(argv: List[str]) -> int:
         "m": list(ms),
         "rank_weights": list(rank_weights),
         "corpus": not args.no_corpus,
+        "shapes": list(shapes),
     }
-    print(f"campaign grid: {len(tasks)} task(s), digest {digest}")
+    total = len(tasks)
+    if shard is not None:
+        tasks = shard_tasks(tasks, *shard)
+        meta["shard"] = f"{shard[0]}/{shard[1]}"
+        print(
+            f"campaign grid: {total} task(s), digest {digest}; "
+            f"shard {shard[0]}/{shard[1]} -> {len(tasks)} task(s)"
+        )
+    else:
+        print(f"campaign grid: {len(tasks)} task(s), digest {digest}")
 
     def progress(result):
         if result.status != "ok":

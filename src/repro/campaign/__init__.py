@@ -29,27 +29,40 @@ from .runner import (
     run_campaign,
     set_compile_cache_size,
 )
-from .store import RunStore, TaskResult, summarize_results
+from .store import RunStore, TaskResult, merge_stores, summarize_results
 from .sweep import (
     MACHINES,
+    SHAPES,
     SweepSpec,
     SweepTask,
     default_spec,
     grid_digest,
     group_by_compile_key,
+    shard_tasks,
 )
-from .workloads import Workload, corpus, generate_workloads
+from .workloads import (
+    Workload,
+    corpus,
+    generate_triangular_workloads,
+    generate_workloads,
+    triangular_corpus,
+)
 
 __all__ = [
     "Workload",
     "corpus",
+    "triangular_corpus",
     "generate_workloads",
+    "generate_triangular_workloads",
     "SweepSpec",
     "SweepTask",
     "MACHINES",
+    "SHAPES",
     "default_spec",
     "grid_digest",
     "group_by_compile_key",
+    "shard_tasks",
+    "merge_stores",
     "CampaignConfig",
     "CampaignOutcome",
     "CampaignSpecMismatch",

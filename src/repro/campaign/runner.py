@@ -339,6 +339,21 @@ def run_campaign(
                 f"{prev_digest}, not {want}: re-run with the original "
                 "flags or start a fresh output file"
             )
+        # shards of one campaign share the full-grid digest by design,
+        # so the shard spec needs its own guard: resuming a shard
+        # checkpoint with the wrong (or a forgotten) --shard would
+        # silently run another shard's tasks into this file
+        prev_shard = prev_meta.get("shard")
+        want_shard = meta.get("shard")
+        # (a checkpoint that lost its meta line cannot be checked —
+        # the digest guard above already degrades the same way)
+        if prev_meta and prev_shard != want_shard:
+            raise CampaignSpecMismatch(
+                f"checkpoint {out_path} was written for shard "
+                f"{prev_shard or 'none (full grid)'}, not "
+                f"{want_shard or 'none (full grid)'}: resume with the "
+                "original --shard or start a fresh output file"
+            )
         if not prev_meta and not done:
             store.start(meta)
         elif prev_digest is None and want:

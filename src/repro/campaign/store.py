@@ -171,6 +171,62 @@ class RunStore:
         return sorted(results)
 
 
+def merge_stores(
+    paths: Sequence[str], out_path: str, force: bool = False
+) -> Dict:
+    """Concatenate + dedupe shard JSONL files into one store.
+
+    Multi-host campaigns run ``campaign run --shard i/n`` per host and
+    merge the shard outputs here: results are deduplicated by task id
+    (later files win, matching the loader's last-record-wins rule), the
+    merged meta carries the shards' common ``spec_digest`` and the
+    shard file list, and results are written in sorted task-id order so
+    the merged file is deterministic regardless of shard completion
+    order.  Shards recorded for *different* grids are refused unless
+    ``force`` is given (the CLI spells it ``--allow-mixed``).
+
+    Returns a summary dict: ``results``, ``duplicates``, ``shards``,
+    ``spec_digest``, ``skipped_lines``.
+    """
+    metas: List[Dict] = []
+    merged: Dict[str, TaskResult] = {}
+    duplicates = 0
+    skipped = 0
+    for p in paths:
+        meta, results = RunStore(p).load()
+        if not meta and not results:
+            raise ValueError(f"no campaign records in {p!r}")
+        metas.append(meta)
+        skipped += meta.get("_skipped_lines", 0)
+        for tid, r in results.items():
+            if tid in merged:
+                duplicates += 1
+            merged[tid] = r
+    digests = {m.get("spec_digest") for m in metas if m.get("spec_digest")}
+    if len(digests) > 1 and not force:
+        raise ValueError(
+            "shards were recorded for different grids (spec digests "
+            f"{', '.join(sorted(digests))}): refusing to merge them — "
+            "pass force=True/--allow-mixed to override"
+        )
+    out_meta = {
+        "spec_digest": digests.pop() if len(digests) == 1 else None,
+        "merged_from": [os.path.basename(p) for p in paths],
+        "shards": len(paths),
+    }
+    store = RunStore(out_path)
+    store.start(out_meta)
+    for tid in sorted(merged):
+        store.append(merged[tid])
+    return {
+        "results": len(merged),
+        "duplicates": duplicates,
+        "shards": len(paths),
+        "spec_digest": out_meta["spec_digest"],
+        "skipped_lines": skipped,
+    }
+
+
 # ---------------------------------------------------------------------------
 # Aggregation
 # ---------------------------------------------------------------------------
@@ -181,9 +237,13 @@ def summarize_results(results: Iterable[TaskResult]) -> List[Dict]:
 
     Each row reports task counts by status, the residual-communication
     totals of the heuristic vs the greedy baseline, the classification
-    histogram of the heuristic's residuals and the mean
+    histogram of the heuristic's residuals, the mean
     baseline/heuristic execution-time ratio (>= 1 means the two-step
-    heuristic won) over the tasks where both times are positive.
+    heuristic won) over the tasks where both times are positive, and
+    the heuristic/Feautrier-baseline **residual ratio** (<= 1 means the
+    heuristic zeroed at least as many residual communications; tracked
+    per PR next to the throughput trend so scenario-quality drift is as
+    visible as perf drift).
     """
     groups: Dict[Tuple, List[TaskResult]] = {}
     for r in results:
@@ -218,6 +278,13 @@ def summarize_results(results: Iterable[TaskResult]) -> List[Dict]:
             ),
             "seconds": sum(r.seconds for r in rs),
         }
+        # Feautrier-baseline residual ratio: heuristic residuals per
+        # baseline residual for this group (quality trend line)
+        row["residual_ratio"] = (
+            row["residuals"] / row["baseline_residuals"]
+            if row["baseline_residuals"] > 0
+            else None
+        )
         # per-machine throughput trend line: cells priced per summed
         # task-second of this (machine, mesh, m, knobs) group
         row["tasks_per_second"] = (

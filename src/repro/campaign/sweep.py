@@ -25,7 +25,13 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..machine import machine_names, machine_spec
-from .workloads import Workload, corpus, generate_workloads
+from .workloads import (
+    Workload,
+    corpus,
+    generate_triangular_workloads,
+    generate_workloads,
+    triangular_corpus,
+)
 
 #: machine model names understood by the runner (mirrors the registry
 #: state at import; use :func:`repro.machine.machine_names` for the
@@ -182,6 +188,11 @@ def group_by_compile_key(tasks: Sequence[SweepTask]) -> List[List[SweepTask]]:
     return [groups[k] for k in order]
 
 
+#: workload shape families understood by :func:`default_spec` and the
+#: CLI's ``--shapes`` flag
+SHAPES = ("rect", "tri")
+
+
 def default_spec(
     seed: int = 0,
     nests: int = 20,
@@ -191,13 +202,33 @@ def default_spec(
     ms: Sequence[int] = (2,),
     rank_weights: Sequence[bool] = (True,),
     params: Optional[Dict[str, int]] = None,
+    shapes: Sequence[str] = ("rect",),
 ) -> SweepSpec:
     """The standard campaign grid: ``nests`` generated workloads (plus
     the named corpus) against every compatible machine x mesh x knob
-    combination."""
-    workloads = generate_workloads(seed, nests, params=params)
-    if include_corpus:
-        workloads = corpus() + workloads
+    combination.
+
+    ``shapes`` picks the workload families: ``"rect"`` is the
+    historical rectangular generator + corpus (the default — task ids
+    and digests of pre-existing campaigns are unchanged); ``"tri"``
+    adds the triangular/trapezoidal generator and the triangular
+    kernel corpus (LU, Cholesky, back-substitution, triangular
+    matmul), exercising the polyhedral domain layer end to end.
+    """
+    workloads: List[Workload] = []
+    for shape in shapes:
+        if shape == "rect":
+            generated = generate_workloads(seed, nests, params=params)
+            named = corpus() if include_corpus else []
+        elif shape == "tri":
+            generated = generate_triangular_workloads(seed, nests, params=params)
+            named = triangular_corpus() if include_corpus else []
+        else:
+            raise ValueError(
+                f"unknown workload shape {shape!r} "
+                f"(known: {', '.join(SHAPES)})"
+            )
+        workloads += named + generated
     return SweepSpec(
         workloads=workloads,
         machines=machines,
@@ -205,3 +236,25 @@ def default_spec(
         ms=ms,
         rank_weights=rank_weights,
     )
+
+
+def shard_tasks(
+    tasks: Sequence[SweepTask], index: int, count: int
+) -> List[SweepTask]:
+    """The ``index``-th of ``count`` stable partitions of a grid.
+
+    Partitioning hashes the task-id *prefix* (the first 8 hex digits of
+    the SHA-1 task id), so the assignment of a task to a shard depends
+    only on the task itself: every host of a multi-host campaign
+    expands the same grid, runs ``--shard i/n`` with its own ``i``, and
+    the union of the shard outputs (``campaign merge``) is exactly the
+    full grid — no coordination, no overlap.
+    """
+    if count <= 0:
+        raise ValueError(f"shard count must be positive, got {count}")
+    if not 0 <= index < count:
+        raise ValueError(
+            f"shard index {index} out of range for {count} shard(s) "
+            "(use 0..n-1)"
+        )
+    return [t for t in tasks if int(t.task_id[:8], 16) % count == index]

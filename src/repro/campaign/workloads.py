@@ -16,9 +16,18 @@ Two producers:
   :func:`~repro.ir.schedule_is_legal` on the bounded domains, and
   :func:`~repro.alignment.two_step_heuristic` completes without
   raising.  The same seed produces a byte-identical corpus.
+* :func:`generate_triangular_workloads` — the same validated pipeline
+  over the *non-rectangular* shape vocabulary: lower/upper triangular
+  and trapezoidal inner loops (``for j = i..N``, ``for j = 0..i``,
+  shifted variants), exercising the polyhedral
+  :class:`~repro.ir.Domain` layer end to end.  A separate RNG stream,
+  so growing this vocabulary never perturbs the rectangular corpora.
 * :func:`corpus` — the named nests of the repository: the paper's
   examples (:mod:`repro.ir.examples`) and the kernels of the
   ``examples/*.py`` scripts (matmul, Gaussian elimination, ADI).
+* :func:`triangular_corpus` — the classic triangular kernels the
+  rectangular IR could not express: LU update, Cholesky,
+  back-substitution and a triangular matmul.
 """
 
 from __future__ import annotations
@@ -154,6 +163,66 @@ def _named_factories() -> Dict[str, Callable[[], LoopNest]]:
 _NAMED_FACTORIES = _named_factories()
 
 
+# -- triangular kernels: the nests the rectangular IR shut out ------------
+
+_TRI_LU_SRC = """array A(2)
+for k = 1..N:
+  for i = k..N:
+    for j = k..N:
+      S: A[i, j] = f(A[i, j], A[i, k], A[k, j])
+"""
+
+_TRI_CHOLESKY_SRC = """array L(2)
+for k = 1..N:
+  for i = k..N:
+    S1: L[i, k] = f(L[i, k], L[k, k])
+    for j = k..i:
+      S2: L[i, j] = g(L[i, j], L[i, k], L[j, k])
+"""
+
+_TRI_BACKSUB_SRC = """array x(1), b(1), L(2)
+for i = 1..N:
+  S1: x[i] = f(b[i])
+  for j = 1..i-1:
+    S2: x[i] = g(x[i], L[i, j], x[j])
+"""
+
+_TRI_MATMUL_SRC = """array a(2), b(2), c(2)
+for i = 0..N:
+  for j = i..N:
+    for k = 0..N:
+      S: c[i, j] = f(a[i, k], b[k, j], c[i, j])
+"""
+
+
+def triangular_corpus() -> List[Workload]:
+    """The classic triangular/trapezoidal kernels as campaign workloads.
+
+    ``check_legality`` is off for the factorizations whose textbook
+    outer-sequential schedule conflicts within a step (the Gaussian
+    elimination / ADI precedent of :func:`corpus`); the triangular
+    matmul infers a legal schedule on its true polyhedral domain.
+    """
+    return [
+        Workload(
+            name="tri-matmul", kind="named", source=_TRI_MATMUL_SRC,
+            schedule="infer", params={"N": 3},
+        ),
+        Workload(
+            name="lu", kind="named", source=_TRI_LU_SRC,
+            schedule="outer:1", params={"N": 3}, check_legality=False,
+        ),
+        Workload(
+            name="cholesky", kind="named", source=_TRI_CHOLESKY_SRC,
+            schedule="outer:1", params={"N": 3}, check_legality=False,
+        ),
+        Workload(
+            name="backsub", kind="named", source=_TRI_BACKSUB_SRC,
+            schedule="outer:1", params={"N": 4}, check_legality=False,
+        ),
+    ]
+
+
 def corpus() -> List[Workload]:
     """The repository's named nests as campaign workloads."""
     return [
@@ -272,6 +341,26 @@ def _render_ref(rng: random.Random, array: str, dim: int, variables: Tuple[str, 
     return f"{array}[{', '.join(subs)}]"
 
 
+def _stmt_line(
+    rng: random.Random,
+    arrays: Dict[str, int],
+    stmt_no: int,
+    indent: str,
+    variables: Tuple[str, ...],
+) -> str:
+    """One random statement line (shared by the rectangular and the
+    triangular source generators; RNG call order is part of the
+    byte-stability contract of :func:`generate_workloads`)."""
+    names = sorted(arrays)
+    wr = rng.choice(names)
+    write = _render_ref(rng, wr, arrays[wr], variables)
+    reads = ", ".join(
+        _render_ref(rng, arr, arrays[arr], variables)
+        for arr in (rng.choice(names) for _ in range(rng.randint(1, 2)))
+    )
+    return f"{indent}S{stmt_no}: {write} = f{stmt_no}({reads})"
+
+
 def _random_nest_source(rng: random.Random) -> str:
     arrays = {name: rng.randint(1, 3) for name in ("a", "b", "c")}
     decls = ", ".join(f"{n}({d})" for n, d in sorted(arrays.items()))
@@ -280,19 +369,12 @@ def _random_nest_source(rng: random.Random) -> str:
     lines.append(f"for i = 0..{bound()}:")
     lines.append(f"  for j = 0..{bound()}:")
 
-    names = sorted(arrays)
     stmt_no = 0
 
     def stmt_line(indent: str, variables: Tuple[str, ...]) -> str:
         nonlocal stmt_no
         stmt_no += 1
-        wr = rng.choice(names)
-        write = _render_ref(rng, wr, arrays[wr], variables)
-        reads = ", ".join(
-            _render_ref(rng, arr, arrays[arr], variables)
-            for arr in (rng.choice(names) for _ in range(rng.randint(1, 2)))
-        )
-        return f"{indent}S{stmt_no}: {write} = f{stmt_no}({reads})"
+        return _stmt_line(rng, arrays, stmt_no, indent, variables)
 
     shape = rng.choice(("perfect2", "perfect3", "nonperfect"))
     if shape == "perfect2":
@@ -307,6 +389,43 @@ def _random_nest_source(rng: random.Random) -> str:
         lines.append(f"    for k = 0..{bound()}:")
         for _ in range(rng.randint(1, 2)):
             lines.append(stmt_line("      ", ("i", "j", "k")))
+    return "\n".join(lines) + "\n"
+
+
+def _random_triangular_source(rng: random.Random) -> str:
+    """A random nest with at least one non-rectangular loop: lower/upper
+    triangular or trapezoidal inner ``j`` loops, or a rectangular middle
+    with a triangular innermost ``k`` loop."""
+    arrays = {name: rng.randint(1, 3) for name in ("a", "b", "c")}
+    decls = ", ".join(f"{n}({d})" for n, d in sorted(arrays.items()))
+    lines = [f"array {decls}"]
+    bound = lambda: rng.choice(("N", "M"))
+    lines.append(f"for i = 0..{bound()}:")
+
+    stmt_no = 0
+
+    def stmt_line(indent: str, variables: Tuple[str, ...]) -> str:
+        nonlocal stmt_no
+        stmt_no += 1
+        return _stmt_line(rng, arrays, stmt_no, indent, variables)
+
+    shape = rng.choice(("lower", "upper", "trapezoid", "deep"))
+    if shape == "lower":
+        lines.append(f"  for j = i..{bound()}:")
+    elif shape == "upper":
+        lines.append("  for j = 0..i:")
+    elif shape == "trapezoid":
+        lines.append(f"  for j = i..{bound()}+1:")
+    else:  # deep: rectangular j, triangular innermost k
+        lines.append(f"  for j = 0..{bound()}:")
+    if shape == "deep":
+        lines.append(stmt_line("    ", ("i", "j")))
+        lines.append(f"    for k = j..{bound()}:")
+        for _ in range(rng.randint(1, 2)):
+            lines.append(stmt_line("      ", ("i", "j", "k")))
+    else:
+        for _ in range(rng.randint(1, 2)):
+            lines.append(stmt_line("    ", ("i", "j")))
     return "\n".join(lines) + "\n"
 
 
@@ -325,6 +444,42 @@ def _workload_is_valid(workload: Workload, m: int = 2) -> bool:
     except Exception:
         return False
     return True
+
+
+def _generate_validated(
+    seed: int,
+    count: int,
+    make_source: Callable[[random.Random], str],
+    prefix: str,
+    params: Optional[Dict[str, int]],
+    max_attempts_per_nest: int,
+) -> List[Workload]:
+    """The shared seeded generate-validate-retry loop (see
+    :func:`generate_workloads` for the determinism contract)."""
+    rng = random.Random(seed)
+    bindings = dict(_DEFAULT_PARAMS)
+    bindings.update(params or {})
+    out: List[Workload] = []
+    attempts = 0
+    budget = max_attempts_per_nest * max(1, count)
+    while len(out) < count:
+        attempts += 1
+        if attempts > budget:
+            raise RuntimeError(
+                f"workload generation stalled: {len(out)}/{count} nests "
+                f"after {attempts - 1} attempts (seed {seed})"
+            )
+        source = make_source(rng)
+        candidate = Workload(
+            name=f"{prefix}-{seed}-{len(out)}",
+            kind="generated",
+            source=source,
+            schedule="infer",
+            params=dict(bindings),
+        )
+        if _workload_is_valid(candidate):
+            out.append(candidate)
+    return out
 
 
 def generate_workloads(
@@ -346,27 +501,30 @@ def generate_workloads(
     always reference ``N``/``M``, so those stay bound (to the defaults)
     even when the caller's bindings name neither.
     """
-    rng = random.Random(seed)
-    bindings = dict(_DEFAULT_PARAMS)
-    bindings.update(params or {})
-    out: List[Workload] = []
-    attempts = 0
-    budget = max_attempts_per_nest * max(1, count)
-    while len(out) < count:
-        attempts += 1
-        if attempts > budget:
-            raise RuntimeError(
-                f"workload generation stalled: {len(out)}/{count} nests "
-                f"after {attempts - 1} attempts (seed {seed})"
-            )
-        source = _random_nest_source(rng)
-        candidate = Workload(
-            name=f"gen-{seed}-{len(out)}",
-            kind="generated",
-            source=source,
-            schedule="infer",
-            params=dict(bindings),
-        )
-        if _workload_is_valid(candidate):
-            out.append(candidate)
-    return out
+    return _generate_validated(
+        seed, count, _random_nest_source, "gen", params, max_attempts_per_nest
+    )
+
+
+def generate_triangular_workloads(
+    seed: int,
+    count: int,
+    params: Optional[Dict[str, int]] = None,
+    max_attempts_per_nest: int = 200,
+) -> List[Workload]:
+    """Generate ``count`` validated *triangular/trapezoidal* workloads.
+
+    Same determinism contract as :func:`generate_workloads`, on an
+    independent RNG stream (names ``tri-SEED-K``): every emitted nest
+    has at least one non-rectangular loop, parses into a polyhedral
+    :class:`~repro.ir.Domain`, carries a legal inferred schedule on the
+    bounded domains and completes the two-step heuristic.
+    """
+    return _generate_validated(
+        seed,
+        count,
+        _random_triangular_source,
+        "tri",
+        params,
+        max_attempts_per_nest,
+    )

@@ -1,6 +1,7 @@
 """Loop-nest intermediate representation and analysis substrate.
 
 * :mod:`repro.ir.access` — affine accesses ``x[F I + c]``;
+* :mod:`repro.ir.domain` — polyhedral iteration domains ``A i + B p + c >= 0``;
 * :mod:`repro.ir.loopnest` — statements, arrays, bounds, builder DSL;
 * :mod:`repro.ir.dependence` — GCD / lattice / Fourier–Motzkin tests;
 * :mod:`repro.ir.schedule` — linear multidimensional schedules;
@@ -10,12 +11,14 @@
 from .access import AccessKind, AffineAccess, read, write
 from .dependence import (
     Dependence,
+    domain_feasible,
     find_dependences,
     gcd_test,
     is_fully_parallel,
     lattice_test,
     test_dependence,
 )
+from .domain import Constraint, Domain
 from .examples import (
     broadcast_example,
     gather_example,
@@ -24,7 +27,11 @@ from .examples import (
     reduction_example,
 )
 from .loopnest import ArrayDecl, Bound, LoopDim, LoopNest, NestBuilder, Statement
-from .legality import schedule_is_legal, schedule_violations
+from .legality import (
+    schedule_is_legal,
+    schedule_violations,
+    schedule_violations_python,
+)
 from .parser import NestSyntaxError, parse_nest
 from .schedule import (
     Schedule,
@@ -45,7 +52,10 @@ __all__ = [
     "LoopNest",
     "NestBuilder",
     "Statement",
+    "Constraint",
+    "Domain",
     "Dependence",
+    "domain_feasible",
     "find_dependences",
     "is_fully_parallel",
     "test_dependence",
@@ -65,4 +75,5 @@ __all__ = [
     "NestSyntaxError",
     "schedule_is_legal",
     "schedule_violations",
+    "schedule_violations_python",
 ]

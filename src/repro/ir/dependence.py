@@ -15,10 +15,13 @@ direction it reports:
    subscript equation; a failure disproves the dependence.
 2. **Exact lattice test** — integer solvability of the whole stacked
    system via the Smith form (no approximation).
-3. **Bounds test** — Fourier–Motzkin elimination over the rationals on
-   the solution lattice restricted to the loop bounds; exactness holds
-   for the rational relaxation and is conservative (may report a
-   dependence that only rational points realize, which is safe).
+3. **Domain test** — Fourier–Motzkin elimination over the rationals on
+   the solution lattice restricted to both statements' polyhedral
+   iteration domains (:func:`domain_feasible`; triangular constraints
+   enter exactly, rectangular ones reduce to the classical box bounds);
+   exactness holds for the rational relaxation and is conservative (may
+   report a dependence that only rational points realize, which is
+   safe).
 """
 
 from __future__ import annotations
@@ -135,8 +138,12 @@ def bounds_test(
     bounds1: Sequence[Tuple[int, int]],
     bounds2: Sequence[Tuple[int, int]],
 ) -> bool:
-    """Check whether some lattice point of ``sol`` satisfies the loop
-    bounds (rational relaxation — conservative)."""
+    """Check whether some lattice point of ``sol`` satisfies rectangular
+    loop bounds (rational relaxation — conservative).
+
+    The rectangular-box special case of :func:`domain_feasible`, kept
+    for callers that carry explicit ``(lo, hi)`` intervals.
+    """
     # point = particular + H y, with bounds lo <= point_i <= hi
     part = sol.particular.column_tuple(0)
     hom_cols = [h.column_tuple(0) for h in sol.homogeneous]
@@ -152,6 +159,50 @@ def bounds_test(
         ineqs.append((tuple(row), Fraction(hi - part[i])))
         # -(part_i + row . y) <= -lo
         ineqs.append((tuple(-x for x in row), Fraction(part[i] - lo)))
+    return _fourier_motzkin(ineqs, nvars)
+
+
+def domain_feasible(sol, s1: Statement, s2: Statement, params: Dict[str, int]) -> bool:
+    """Check whether some lattice point of ``sol`` lies inside both
+    statements' polyhedral iteration domains (rational relaxation —
+    conservative, exactly like :func:`bounds_test`).
+
+    For rectangular domains the inequality system is the same box the
+    historical bounds test built; triangular/trapezoidal constraints
+    (``for j = i..N``) enter the Fourier–Motzkin system exactly instead
+    of being widened to their rectangular hull.
+    """
+    part = sol.particular.column_tuple(0)
+    hom_cols = [h.column_tuple(0) for h in sol.homogeneous]
+    nvars = len(hom_cols)
+    d1 = s1.depth
+    assert len(part) == d1 + s2.depth
+    if nvars == 0:
+        return s1.domain.contains(part[:d1], params) and s2.domain.contains(
+            part[d1:], params
+        )
+    ineqs: List[Ineq] = []
+    for dom, offset in ((s1.domain, 0), (s2.domain, d1)):
+        for con in dom.constraints:
+            # a . I + off >= 0 with I = part_slice + H_slice y
+            # =>  (-a . H_slice) y <= a . part_slice + off
+            rhs = Fraction(
+                sum(
+                    a * part[offset + i]
+                    for i, a in enumerate(con.var_coeffs)
+                )
+                + con.offset(params)
+            )
+            coeffs = tuple(
+                Fraction(
+                    -sum(
+                        a * h[offset + i]
+                        for i, a in enumerate(con.var_coeffs)
+                    )
+                )
+                for h in hom_cols
+            )
+            ineqs.append((coeffs, rhs))
     return _fourier_motzkin(ineqs, nvars)
 
 
@@ -192,13 +243,7 @@ def test_dependence(
     sol = lattice_test(a1.F, a1.c, a2.F, a2.c)
     if sol is None:
         return None
-    b1 = [
-        (l.lower.evaluate(params), l.upper.evaluate(params)) for l in s1.loops
-    ]
-    b2 = [
-        (l.lower.evaluate(params), l.upper.evaluate(params)) for l in s2.loops
-    ]
-    if not bounds_test(sol, s1.depth, s2.depth, b1, b2):
+    if not domain_feasible(sol, s1, s2, params):
         return None
     if s1 is s2 and a1 is a2 and same_statement_distinct:
         # self-dependence of a single access needs I1 != I2; a lattice

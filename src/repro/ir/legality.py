@@ -3,23 +3,51 @@
 A linear multidimensional schedule is *legal* when every dependence is
 respected: if instance ``I2`` of ``S2`` depends on instance ``I1`` of
 ``S1`` (flow/anti/output), then ``theta_{S1} I1`` must precede
-``theta_{S2} I2`` lexicographically (strictly, unless they are the same
-instance).  The paper takes schedules as given inputs of the mapping
-problem; this checker keeps the library's example schedules honest and
-guards the executor against meaningless time bucketing.
+``theta_{S2} I2`` lexicographically (strictly).  The paper takes
+schedules as given inputs of the mapping problem; this checker keeps
+the library's example schedules honest and guards the executor against
+meaningless time bucketing.
 
-The check enumerates dependence witnesses over the *bounded* iteration
-domains (parameters bound to small values) — exact for the instance,
-exponential in principle, and exactly what a test harness wants.
+The check enumerates dependence witnesses over the *bounded* polyhedral
+iteration domains (parameters bound to small values) — exact for the
+instance, exponential in principle, and exactly what a test harness
+wants.  Two kinds of violation are reported:
+
+* **same-step conflict** — two dependent instances share a time vector
+  (they cannot execute simultaneously when one writes);
+* **order violation** — the *sink* of a dependence is scheduled
+  strictly before its *source*.  The source/sink roles come from the
+  original sequential execution order of the nest: instances compare
+  lexicographically on their common outer loops, ties broken by
+  statement order in the nest (and by full lexicographic order inside
+  one statement).
+
+:func:`schedule_violations` is **vectorized** — statement domains
+become dense int64 point matrices (the same
+:meth:`~repro.ir.domain.Domain.point_matrix` arrays the runtime layer
+consumes), schedule times and access subscripts are single matmuls over
+whole domains, and subscript collisions are found with one
+``np.unique`` label intersection per access pair instead of the
+quadratic per-element scan.  The per-element implementation is kept as
+:func:`schedule_violations_python`, the measured baseline the
+vectorized path is asserted bit-identical against (messages and order
+included) — the same old-vs-new pattern as ``phase_time_python`` and
+``execute_python``; ``benchmarks/bench_legality.py`` gates both the
+bit-identity and the speedup floor.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Tuple
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
 
 from .access import AccessKind
 from .loopnest import LoopNest
 from .schedule import ScheduledNest
+
+#: int64 safety bound shared with the runtime layer's affine stages
+_INT64_SAFE = 2 ** 62
 
 
 def _lex_lt(a: Tuple[int, ...], b: Tuple[int, ...]) -> bool:
@@ -30,29 +58,82 @@ def _lex_lt(a: Tuple[int, ...], b: Tuple[int, ...]) -> bool:
     return ap < bp
 
 
-def schedule_violations(
+def _lex_cmp(a: Tuple[int, ...], b: Tuple[int, ...]) -> int:
+    """-1/0/1 lexicographic comparison with implicit zero-padding."""
+    if _lex_lt(a, b):
+        return -1
+    if _lex_lt(b, a):
+        return 1
+    return 0
+
+
+def _common_prefix(names1: Sequence[str], names2: Sequence[str]) -> int:
+    """Number of leading loops the two statements share (by variable
+    name and position) — the loops that interleave their instances in
+    the original source."""
+    k = 0
+    for a, b in zip(names1, names2):
+        if a != b:
+            break
+        k += 1
+    return k
+
+
+def _original_order(
+    idx1: Tuple[int, ...],
+    idx2: Tuple[int, ...],
+    prefix: int,
+    pos1: int,
+    pos2: int,
+) -> int:
+    """-1 when instance 1 executes first in the original nest, +1 when
+    instance 2 does, 0 only for the same instance of one statement."""
+    a, b = tuple(idx1[:prefix]), tuple(idx2[:prefix])
+    if a != b:
+        return -1 if a < b else 1
+    if pos1 != pos2:
+        return -1 if pos1 < pos2 else 1
+    if tuple(idx1) != tuple(idx2):
+        return -1 if tuple(idx1) < tuple(idx2) else 1
+    return 0
+
+
+def _same_step_message(s1, idx1, s2, idx2, array, cell, t1) -> str:
+    return (
+        f"{s1}{idx1} and {s2}{idx2} touch "
+        f"{array}{cell} at the same time step {t1}"
+    )
+
+
+def _order_message(snk_s, snk_idx, t_snk, src_s, src_idx, t_src, array, cell) -> str:
+    return (
+        f"{snk_s}{snk_idx} at time {t_snk} is scheduled before its "
+        f"source {src_s}{src_idx} at time {t_src} on {array}{cell}"
+    )
+
+
+def schedule_violations_python(
     scheduled: ScheduledNest, params: Dict[str, int], limit: int = 10
 ) -> List[str]:
-    """Concrete dependence violations of a schedule (up to ``limit``).
-
-    Enumerates pairs of accesses to the same array (at least one write)
-    whose subscripts collide inside the bounded domains and whose time
-    stamps do not respect the source-before-sink order.  Returns
-    human-readable descriptions; an empty list means the schedule is
-    legal on these bounds.
-    """
+    """Per-element reference implementation of
+    :func:`schedule_violations` — one witness pair at a time, exactly
+    the messages (and order) of the vectorized path.  Kept as the
+    measured baseline and bit-identity cross-check."""
     nest = scheduled.nest
+    pos = {s.name: p for p, s in enumerate(nest.statements)}
     out: List[str] = []
     pairs = nest.all_accesses()
-    # precompute per-statement instance -> time
     for i, (s1, a1) in enumerate(pairs):
-        for s2, a2 in pairs:
+        for j in range(i, len(pairs)):
+            s2, a2 = pairs[j]
             if a1.array != a2.array:
                 continue
             if a1.kind is AccessKind.READ and a2.kind is AccessKind.READ:
                 continue
             th1 = scheduled.schedule_of(s1.name)
             th2 = scheduled.schedule_of(s2.name)
+            prefix = _common_prefix(s1.index_names, s2.index_names)
+            p1, p2 = pos[s1.name], pos[s2.name]
             for idx1 in s1.iteration_domain(params):
                 cell1 = a1.apply(idx1)
                 for idx2 in s2.iteration_domain(params):
@@ -60,25 +141,237 @@ def schedule_violations(
                         continue
                     if a2.apply(idx2) != cell1:
                         continue
+                    d = _original_order(idx1, idx2, prefix, p1, p2)
+                    if i == j and d >= 0:
+                        # a self-paired access sees each unordered
+                        # instance pair twice; keep the source-first one
+                        continue
                     t1 = th1.time_of(idx1)
                     t2 = th2.time_of(idx2)
-                    # a true dependence needs an order: writer before
-                    # reader (flow), reader before writer (anti),
-                    # writers ordered (output).  With linear schedules
-                    # the source must be scheduled strictly earlier —
-                    # equality means a same-step conflict.
-                    if t1 == t2:
+                    tc = _lex_cmp(t1, t2)
+                    if tc == 0:
                         out.append(
-                            f"{s1.name}{idx1} and {s2.name}{idx2} touch "
-                            f"{a1.array}{cell1} at the same time step {t1}"
+                            _same_step_message(
+                                s1.name, idx1, s2.name, idx2,
+                                a1.array, cell1, t1,
+                            )
                         )
+                    elif (d < 0) == (tc > 0):
+                        # the sink is scheduled strictly before the
+                        # source: an order violation
+                        if d < 0:
+                            src = (s1.name, idx1, t1)
+                            snk = (s2.name, idx2, t2)
+                        else:
+                            src = (s2.name, idx2, t2)
+                            snk = (s1.name, idx1, t1)
+                        out.append(
+                            _order_message(
+                                snk[0], snk[1], snk[2],
+                                src[0], src[1], src[2],
+                                a1.array, cell1,
+                            )
+                        )
+                    else:
+                        continue
                     if len(out) >= limit:
                         return out
+    return out
+
+
+# ---------------------------------------------------------------------------
+# vectorized witness enumeration
+# ---------------------------------------------------------------------------
+
+
+def _lex_cmp_rows(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Row-wise -1/0/1 lexicographic comparison of two equal-shape
+    integer matrices."""
+    n = a.shape[0]
+    if n == 0 or a.shape[1] == 0:
+        return np.zeros(n, dtype=np.int64)
+    diff = np.sign(a - b)
+    nz = diff != 0
+    first = np.argmax(nz, axis=1)
+    out = diff[np.arange(n), first]
+    out[~nz.any(axis=1)] = 0
+    return out
+
+
+def _pad_cols(t: np.ndarray, width: int) -> np.ndarray:
+    if t.shape[1] == width:
+        return t
+    pad = np.zeros((t.shape[0], width - t.shape[1]), dtype=np.int64)
+    return np.concatenate((t, pad), axis=1)
+
+
+def _vector_safe(points: np.ndarray, *mats) -> bool:
+    """Conservative int64-overflow proof for ``points @ mat.T + off``
+    chains (max-abs magnitudes, same style as the runtime layer)."""
+    bound = int(abs(points).max()) if points.size else 0
+    for mat, off in mats:
+        b = mat.ncols * mat.max_abs() * bound + (
+            off.max_abs() if off is not None else 0
+        )
+        if b >= _INT64_SAFE:
+            return False
+    return True
+
+
+def schedule_violations(
+    scheduled: ScheduledNest, params: Dict[str, int], limit: int = 10
+) -> List[str]:
+    """Concrete dependence violations of a schedule (up to ``limit``).
+
+    Enumerates pairs of accesses to the same array (at least one write)
+    whose subscripts collide inside the bounded polyhedral domains and
+    whose time stamps do not respect the source-before-sink order of
+    the original nest — same-step conflicts *and* order violations
+    (sink strictly before source).  Returns human-readable
+    descriptions; an empty list means the schedule is legal on these
+    bounds.
+
+    Vectorized over dense domain point matrices; bit-identical (message
+    strings and order) to :func:`schedule_violations_python`.
+    """
+    nest = scheduled.nest
+    if any(s.depth == 0 for s in nest.statements):
+        return schedule_violations_python(scheduled, params, limit)
+
+    # per-statement point/time matrices, per-access subscript matrices
+    points: Dict[str, np.ndarray] = {}
+    times: Dict[str, np.ndarray] = {}
+    subs: List[np.ndarray] = []
+    pairs = nest.all_accesses()
+    pos = {s.name: p for p, s in enumerate(nest.statements)}
+    for stmt in nest.statements:
+        pts = stmt.domain.point_matrix(params)
+        theta = scheduled.schedule_of(stmt.name).theta
+        if not _vector_safe(pts, (theta, None)):
+            return schedule_violations_python(scheduled, params, limit)
+        points[stmt.name] = pts
+        times[stmt.name] = pts @ theta.to_numpy().T
+    for stmt, acc in pairs:
+        pts = points[stmt.name]
+        if not _vector_safe(pts, (acc.F, acc.c)):
+            return schedule_violations_python(scheduled, params, limit)
+        subs.append(pts @ acc.F.to_numpy().T + acc.c.to_numpy().T)
+
+    out: List[str] = []
+    for i, (s1, a1) in enumerate(pairs):
+        for j in range(i, len(pairs)):
+            s2, a2 = pairs[j]
+            if a1.array != a2.array:
+                continue
+            if a1.kind is AccessKind.READ and a2.kind is AccessKind.READ:
+                continue
+            sub1, sub2 = subs[i], subs[j]
+            n1, n2 = sub1.shape[0], sub2.shape[0]
+            if n1 == 0 or n2 == 0:
+                continue
+            # label every distinct subscript cell, intersect the labels
+            _, inv = np.unique(
+                np.concatenate((sub1, sub2), axis=0),
+                axis=0,
+                return_inverse=True,
+            )
+            inv = np.asarray(inv).ravel()
+            l1, l2 = inv[:n1], inv[n1:]
+            shared = np.intersect1d(l1, l2)
+            if shared.size == 0:
+                continue
+            # cross product of the colliding instances per shared label,
+            # built without a per-label Python loop: stable argsorts
+            # group equal labels contiguously (positions stay ascending
+            # inside a group), vectorized searchsorted finds each
+            # group's span, and integer div/mod unrolls the products
+            o1 = np.argsort(l1, kind="stable")
+            o2 = np.argsort(l2, kind="stable")
+            sl1, sl2 = l1[o1], l2[o2]
+            st1 = np.searchsorted(sl1, shared, side="left")
+            st2 = np.searchsorted(sl2, shared, side="left")
+            cnt1 = np.searchsorted(sl1, shared, side="right") - st1
+            cnt2 = np.searchsorted(sl2, shared, side="right") - st2
+            per_label = cnt1 * cnt2
+            total = int(per_label.sum())
+            if total == 0:
+                continue
+            lab = np.repeat(np.arange(shared.size), per_label)
+            offs = np.concatenate(([0], np.cumsum(per_label)[:-1]))
+            q = np.arange(total) - offs[lab]
+            r1 = o1[st1[lab] + q // cnt2[lab]]
+            r2 = o2[st2[lab] + q % cnt2[lab]]
+            if s1 is s2:
+                keep = r1 != r2  # same instance is never a witness
+                r1, r2 = r1[keep], r2[keep]
+            if r1.size == 0:
+                continue
+
+            p1_pts, p2_pts = points[s1.name], points[s2.name]
+            i1, i2 = p1_pts[r1], p2_pts[r2]
+            prefix = _common_prefix(s1.index_names, s2.index_names)
+            d = _lex_cmp_rows(i1[:, :prefix], i2[:, :prefix])
+            tie = d == 0
+            if tie.any():
+                if pos[s1.name] != pos[s2.name]:
+                    d[tie] = -1 if pos[s1.name] < pos[s2.name] else 1
+                else:
+                    d[tie] = _lex_cmp_rows(i1[tie], i2[tie])
+            if i == j:
+                keep = d < 0  # drop the mirrored duplicate witnesses
+                r1, r2, i1, i2, d = r1[keep], r2[keep], i1[keep], i2[keep], d[keep]
+                if r1.size == 0:
+                    continue
+
+            t1_all, t2_all = times[s1.name], times[s2.name]
+            width = max(t1_all.shape[1], t2_all.shape[1])
+            t1 = _pad_cols(t1_all, width)[r1]
+            t2 = _pad_cols(t2_all, width)[r2]
+            tc = _lex_cmp_rows(t1, t2)
+            bad = (tc == 0) | ((d < 0) == (tc > 0))
+            if not bad.any():
+                continue
+            # report in the reference path's emission order: idx1-major
+            order = np.lexsort((r2[bad], r1[bad]))
+            b_r1, b_r2 = r1[bad][order], r2[bad][order]
+            b_d, b_tc = d[bad][order], tc[bad][order]
+            th1 = scheduled.schedule_of(s1.name)
+            th2 = scheduled.schedule_of(s2.name)
+            for k in range(b_r1.size):
+                idx1 = tuple(p1_pts[b_r1[k]].tolist())
+                idx2 = tuple(p2_pts[b_r2[k]].tolist())
+                cell1 = a1.apply(idx1)
+                tt1 = th1.time_of(idx1)
+                tt2 = th2.time_of(idx2)
+                if b_tc[k] == 0:
+                    out.append(
+                        _same_step_message(
+                            s1.name, idx1, s2.name, idx2,
+                            a1.array, cell1, tt1,
+                        )
+                    )
+                else:
+                    if b_d[k] < 0:
+                        src = (s1.name, idx1, tt1)
+                        snk = (s2.name, idx2, tt2)
+                    else:
+                        src = (s2.name, idx2, tt2)
+                        snk = (s1.name, idx1, tt1)
+                    out.append(
+                        _order_message(
+                            snk[0], snk[1], snk[2],
+                            src[0], src[1], src[2],
+                            a1.array, cell1,
+                        )
+                    )
+                if len(out) >= limit:
+                    return out
     return out
 
 
 def schedule_is_legal(
     scheduled: ScheduledNest, params: Dict[str, int]
 ) -> bool:
-    """True iff no same-time conflicting pair exists on these bounds."""
+    """True iff no conflicting or misordered dependent pair exists on
+    these bounds."""
     return not schedule_violations(scheduled, params, limit=1)

@@ -1,7 +1,7 @@
 """Loop nest intermediate representation.
 
 The paper's computations are *non-perfect affine loop nests*: several
-statements at possibly different depths, each with a rectangular
+statements at possibly different depths, each with a polyhedral
 iteration domain and a list of affine accesses.  The IR below captures
 exactly what the alignment algorithms consume:
 
@@ -10,6 +10,13 @@ exactly what the alignment algorithms consume:
 * per array: symbolic name and dimension ``q_x``;
 * symbolic sizes are supported through simple bound expressions
   evaluated against a parameter binding (``N``, ``M``...).
+
+A loop bound may reference the *outer* loop variables as well as the
+size parameters (``for j = i..N`` — the triangular/trapezoidal kernels:
+LU, Cholesky, back-substitution), in which case the statement's
+iteration set is the polyhedral :class:`~repro.ir.domain.Domain` built
+from the constraints; rectangular bounds remain the trivial special
+case and keep their historical fast paths bit-for-bit.
 """
 
 from __future__ import annotations
@@ -19,15 +26,19 @@ from itertools import product
 from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
 from .access import AccessKind, AffineAccess
+from .domain import Domain
 
 
 @dataclass(frozen=True)
 class Bound:
-    """An affine bound ``const + sum coeff[param] * param``.
+    """An affine bound ``const + sum coeff[name] * name``.
 
-    Parameters are symbolic sizes such as ``N`` and ``M``; the bound is
-    evaluated against a concrete binding when the iteration domain must
-    be enumerated (runtime executor, dependence tests with bounds).
+    Names are symbolic sizes such as ``N`` and ``M`` — or outer loop
+    variables, which makes the surrounding domain non-rectangular
+    (triangular ``for j = i..N``).  :meth:`evaluate` binds *parameters*
+    only and is the rectangular-path entry point; bounds referencing
+    loop variables are resolved through the statement's
+    :class:`~repro.ir.domain.Domain` instead.
     """
 
     const: int = 0
@@ -103,18 +114,43 @@ class Statement:
     def writes(self) -> List[AffineAccess]:
         return [a for a in self.accesses if a.kind is AccessKind.WRITE]
 
+    @property
+    def domain(self) -> Domain:
+        """The statement's polyhedral iteration domain (cached).
+
+        Rectangular nests get the trivial two-constraints-per-loop
+        domain; triangular bounds (outer-variable references) make it a
+        genuine polyhedron.
+        """
+        cached = self.__dict__.get("_domain")
+        if cached is None:
+            cached = Domain.from_loops(self.loops)
+            self.__dict__["_domain"] = cached
+        return cached
+
+    @property
+    def is_rectangular(self) -> bool:
+        return self.domain.is_rectangular
+
     def iteration_domain(self, params: Dict[str, int]) -> Iterator[Tuple[int, ...]]:
-        """Enumerate the rectangular iteration domain."""
-        ranges = [l.range(params) for l in self.loops]
-        return product(*ranges)
+        """Enumerate the iteration domain (bounding-box product order;
+        for rectangular domains exactly the historical
+        ``itertools.product`` of the per-loop ranges)."""
+        if self.is_rectangular:
+            ranges = [l.range(params) for l in self.loops]
+            return product(*ranges)
+        return self.domain.enumerate_points(params)
 
     def domain_size(self, params: Dict[str, int]) -> int:
-        total = 1
-        for l in self.loops:
-            total *= max(0, len(l.range(params)))
-        return total
+        if self.is_rectangular:
+            total = 1
+            for l in self.loops:
+                total *= max(0, len(l.range(params)))
+            return total
+        return self.domain.size(params)
 
     def validate(self) -> None:
+        self.domain  # constructing it rejects malformed (inward) bounds
         for a in self.accesses:
             if a.depth != self.depth:
                 raise ValueError(

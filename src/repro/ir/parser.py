@@ -16,8 +16,14 @@ written the way the paper writes them::
 Rules
 -----
 * ``array NAME(dim)`` declares arrays (comma-separated allowed);
-* ``for var = lo..hi:`` opens a loop (``lo``/``hi`` are integers,
-  parameters, or sums like ``N+M``; indentation gives nesting);
+* ``for var = lo..hi:`` opens a loop (``lo``/``hi`` are affine forms
+  over integers, parameters and *outer loop variables* — sums like
+  ``N+M``, scaled terms like ``2*i``; indentation gives nesting).
+  Bounds referencing outer loop variables produce triangular/
+  trapezoidal iteration domains (``for j = i..N`` — LU, Cholesky,
+  back-substitution), represented exactly by the statement's
+  :class:`~repro.ir.domain.Domain`; a bound referencing the loop's own
+  variable or an inner one raises :class:`NestSyntaxError`;
 * a statement line is ``NAME: lhs = rhs`` where every array reference
   ``x[e1, ..., eq]`` uses affine expressions in the loop variables;
 * the LHS reference is the write; every reference on the RHS is a read
@@ -96,6 +102,8 @@ def _parse_linear(expr: str, variables: Tuple[str, ...]) -> Tuple[Dict[str, int]
 
 
 def _parse_bound(text: str) -> Bound:
+    """Affine bound over integers, parameters and outer loop variables
+    (``1``, ``N``, ``N+M-1``, ``i``, ``2*i+1``)."""
     text = text.replace(" ", "")
     coeffs, const = {}, 0
     for term in re.findall(r"[+-]?[^+-]+", text):
@@ -105,13 +113,19 @@ def _parse_bound(text: str) -> Bound:
             body = body[1:]
         elif body.startswith("-"):
             sign, body = -1, body[1:]
-        if re.fullmatch(r"\d+", body):
+        m = re.fullmatch(r"(\d+)\*([A-Za-z_]\w*)", body)
+        if m:
+            coeffs[m.group(2)] = coeffs.get(m.group(2), 0) + sign * int(m.group(1))
+        elif re.fullmatch(r"\d+", body):
             const += sign * int(body)
         elif re.fullmatch(r"[A-Za-z_]\w*", body):
             coeffs[body] = coeffs.get(body, 0) + sign
         else:
             raise NestSyntaxError(f"bad bound term {term!r}")
-    return Bound(const=const, coeffs=tuple(sorted(coeffs.items())))
+    return Bound(
+        const=const,
+        coeffs=tuple(sorted((n, k) for n, k in coeffs.items() if k != 0)),
+    )
 
 
 def _make_access(
@@ -223,13 +237,20 @@ def parse_nest(source: str, name: str = "parsed") -> LoopNest:
                 accesses.append(
                     _make_access(arr, subs, variables, AccessKind.READ, f"F{access_counter}")
                 )
-            nest.add_statement(
-                Statement(
-                    name=stmt_name,
-                    loops=[f.loop for f in stack],
-                    accesses=accesses,
+            try:
+                nest.add_statement(
+                    Statement(
+                        name=stmt_name,
+                        loops=[f.loop for f in stack],
+                        accesses=accesses,
+                    )
                 )
-            )
+            except NestSyntaxError:
+                raise
+            except ValueError as exc:
+                # e.g. a loop bound referencing an inner variable — the
+                # Domain construction inside validate() rejects it
+                raise NestSyntaxError(f"line {lineno}: {exc}") from None
             continue
 
         raise NestSyntaxError(f"line {lineno}: cannot parse {body!r}")

@@ -135,7 +135,7 @@ def _inner_loops_parallel(nest: LoopNest, params: Dict[str, int], outer: int) ->
     bounds tests.
     """
     from ..linalg import solve_axb
-    from .dependence import bounds_test
+    from .dependence import domain_feasible
 
     pairs = nest.all_accesses()
     for i, (s1, a1) in enumerate(pairs):
@@ -161,9 +161,7 @@ def _inner_loops_parallel(nest: LoopNest, params: Dict[str, int], outer: int) ->
             sol = solve_axb(full, IntMat.col(rhs_entries))
             if sol is None:
                 continue
-            b1 = [(l.lower.evaluate(params), l.upper.evaluate(params)) for l in s1.loops]
-            b2 = [(l.lower.evaluate(params), l.upper.evaluate(params)) for l in s2.loops]
-            if not bounds_test(sol, s1.depth, s2.depth, b1, b2):
+            if not domain_feasible(sol, s1, s2, params):
                 continue
             # same-instance solutions of a single access are not deps
             if s1 is s2 and a1 is a2:

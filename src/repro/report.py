@@ -68,7 +68,7 @@ def format_campaign_summary(rows: Sequence[Dict]) -> str:
     headers = [
         "machine", "mesh", "m", "rank_wt", "tasks", "ok", "err", "t/o",
         "local", "transl", "macro", "decomp", "general",
-        "resid", "base_resid", "base/heur", "secs", "tasks/s",
+        "resid", "base_resid", "res_ratio", "base/heur", "secs", "tasks/s",
     ]
     table_rows = [
         [
@@ -77,6 +77,7 @@ def format_campaign_summary(rows: Sequence[Dict]) -> str:
             r["tasks"], r["ok"], r["errors"], r["timeouts"],
             r["local"], r["translation"], r["macro"], r["decomposed"],
             r["general"], r["residuals"], r["baseline_residuals"],
+            "-" if r.get("residual_ratio") is None else r["residual_ratio"],
             "-" if r["mean_time_ratio"] is None else r["mean_time_ratio"],
             r["seconds"],
             "-" if r.get("tasks_per_second") is None else r["tasks_per_second"],

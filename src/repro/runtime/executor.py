@@ -15,7 +15,9 @@ The report distinguishes, per access:
 
 :func:`execute` is **vectorized**: it consumes the dense per-access
 arrays of :meth:`~repro.runtime.mapping.MappedProgram.comm_batches`
-(one row per element communication) and replaces the per-event Python
+(one row per element communication; polyhedral domains arrive already
+masked down to their in-domain rows, so the executor never
+re-enumerates an iteration set) and replaces the per-event Python
 bucketing with array reductions — virtual/physical locality masks are
 whole-column comparisons, the per-time-step phase split and the
 ``(sender, receiver)`` pair coalescing are ``np.unique`` group-bys —

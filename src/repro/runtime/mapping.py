@@ -15,12 +15,17 @@ the mesh rank — a mismatch raises a friendly error instead of the old
 silent collapse-by-summation of extra virtual dimensions.
 
 The communication extraction is **vectorized**: each statement's
-rectangular iteration domain becomes one dense integer index matrix
-(``np.meshgrid`` over the bounds, points in ``itertools.product``
-order), affine accesses and virtual placements are evaluated as single
-integer matmuls over the whole domain, and :class:`Folding` applies its
-modular arithmetic to whole coordinate columns at once
-(:meth:`Folding.fold_array`).  The arrays — one :class:`CommBatch` per
+polyhedral iteration domain becomes one dense integer index matrix —
+the rectangular *bounding box* (``np.meshgrid`` over the bounds, points
+in ``itertools.product`` order) filtered by the domain's vectorized
+membership mask (one int64 matmul against the half-space system; see
+:meth:`repro.ir.Domain.point_matrix`), so triangular/trapezoidal nests
+ride the same dense path and rectangular nests skip the mask entirely.
+Affine accesses and virtual placements are evaluated as single integer
+matmuls over the whole domain, and :class:`Folding` applies its modular
+arithmetic to whole coordinate columns at once
+(:meth:`Folding.fold_array`).  The executor prices the pre-masked
+batches directly — it never re-enumerates a domain.  The arrays — one :class:`CommBatch` per
 access — feed the executor's group-by pricing directly; the original
 per-element path is kept as :meth:`MappedProgram.comm_events_python`,
 the measured baseline that the vectorized path is asserted bit-identical
@@ -200,18 +205,15 @@ class CommBatch:
 
 
 def _domain_matrix(stmt, params: Dict[str, int]) -> np.ndarray:
-    """The statement's rectangular iteration domain as an ``(n, d)``
-    int64 matrix, points in ``itertools.product`` row-major order."""
-    ranges = [l.range(params) for l in stmt.loops]
-    if not ranges:
-        # a zero-depth statement has exactly one (empty) domain point,
-        # matching itertools.product() of no iterables
-        return np.empty((1, 0), dtype=np.int64)
-    if any(len(r) == 0 for r in ranges):
-        return np.empty((0, len(ranges)), dtype=np.int64)
-    axes = [np.arange(r.start, r.stop, dtype=np.int64) for r in ranges]
-    grids = np.meshgrid(*axes, indexing="ij")
-    return np.stack([g.ravel() for g in grids], axis=1)
+    """The statement's iteration domain as an ``(n, d)`` int64 matrix,
+    points in bounding-box ``itertools.product`` row-major order.
+
+    Delegates to :meth:`repro.ir.Domain.point_matrix`: rectangular
+    domains return the dense box unchanged (the historical layout);
+    triangular/trapezoidal domains return the box rows that survive the
+    vectorized membership mask — the exact rows (and order)
+    ``Statement.iteration_domain`` enumerates."""
+    return stmt.domain.point_matrix(params)
 
 
 def _affine_rows(idx: np.ndarray, mat: IntMat, off: Optional[IntMat]) -> np.ndarray:

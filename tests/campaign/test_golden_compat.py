@@ -1,0 +1,38 @@
+"""Golden byte-compatibility of rectangular campaigns.
+
+The polyhedral-domain refactor must not move a single byte of what a
+pre-existing (rectangular) campaign writes: the grid digest pins the
+task ids (workload sources, spec hashing) and the record digest pins
+every deterministic result payload (counts, residuals, times, ratios).
+Both constants below were recorded from the pre-refactor implementation
+(PR 4) on the reference grid ``default_spec(seed=0, nests=3,
+meshes=((2, 2),))``.
+"""
+
+import hashlib
+
+from repro.campaign import CampaignConfig, RunStore, default_spec, run_campaign
+from repro.campaign.sweep import canonical_json
+
+#: recorded from the pre-domain-layer implementation (see module doc)
+GOLDEN_GRID_DIGEST = "2dac62a303bb"
+GOLDEN_RECORDS_SHA1 = "ba1ded04e48e0dc682dae04ef662820fedf631cd"
+
+
+class TestGoldenCampaignDigests:
+    def test_grid_digest_unchanged(self):
+        spec = default_spec(seed=0, nests=3, meshes=((2, 2),))
+        assert spec.digest() == GOLDEN_GRID_DIGEST
+
+    def test_record_payloads_unchanged(self, tmp_path):
+        spec = default_spec(seed=0, nests=3, meshes=((2, 2),))
+        tasks = spec.expand()
+        out = str(tmp_path / "golden.jsonl")
+        outcome = run_campaign(tasks, out, CampaignConfig(jobs=1), meta={})
+        assert outcome.errors == 0 and outcome.timeouts == 0
+        _, results = RunStore(out).load()
+        payload = canonical_json(
+            [results[t.task_id].deterministic_dict() for t in tasks]
+        )
+        digest = hashlib.sha1(payload.encode()).hexdigest()
+        assert digest == GOLDEN_RECORDS_SHA1

@@ -1,0 +1,229 @@
+"""Campaign sharding (multi-host grid partitioning) and shard merging."""
+
+import json
+
+import pytest
+
+from repro.campaign import (
+    CampaignConfig,
+    CampaignSpecMismatch,
+    RunStore,
+    default_spec,
+    merge_stores,
+    run_campaign,
+    shard_tasks,
+)
+
+
+@pytest.fixture(scope="module")
+def grid():
+    spec = default_spec(seed=0, nests=3)
+    return spec, spec.expand()
+
+
+class TestShardTasks:
+    def test_partition_is_disjoint_and_complete(self, grid):
+        _spec, tasks = grid
+        for n in (2, 3, 5):
+            shards = [shard_tasks(tasks, i, n) for i in range(n)]
+            ids = [t.task_id for s in shards for t in s]
+            assert sorted(ids) == sorted(t.task_id for t in tasks)
+            assert len(ids) == len(set(ids))
+
+    def test_stable_by_task_id_prefix(self, grid):
+        """A task's shard depends only on its own id — every host
+        computes the same partition without coordination."""
+        _spec, tasks = grid
+        for t in shard_tasks(tasks, 1, 3):
+            assert int(t.task_id[:8], 16) % 3 == 1
+
+    def test_single_shard_is_identity(self, grid):
+        _spec, tasks = grid
+        assert shard_tasks(tasks, 0, 1) == list(tasks)
+
+    def test_order_preserved(self, grid):
+        _spec, tasks = grid
+        index = {t.task_id: i for i, t in enumerate(tasks)}
+        positions = [index[t.task_id] for t in shard_tasks(tasks, 0, 2)]
+        assert positions == sorted(positions)
+
+    def test_bad_specs_rejected(self, grid):
+        _spec, tasks = grid
+        with pytest.raises(ValueError):
+            shard_tasks(tasks, 0, 0)
+        with pytest.raises(ValueError):
+            shard_tasks(tasks, 3, 3)
+        with pytest.raises(ValueError):
+            shard_tasks(tasks, -1, 2)
+
+    def test_resume_with_wrong_shard_refused(self, grid, tmp_path):
+        """Shards share the full-grid digest by design, so resume must
+        check the shard spec itself: resuming a shard checkpoint with a
+        different (or forgotten) --shard would silently run another
+        shard's tasks into this file."""
+        spec, tasks = grid
+        p = str(tmp_path / "s0.jsonl")
+        meta0 = {"spec_digest": spec.digest(), "shard": "0/2"}
+        run_campaign(
+            shard_tasks(tasks, 0, 2)[:2], p,
+            CampaignConfig(jobs=1, max_tasks=1), meta=meta0,
+        )
+        with pytest.raises(CampaignSpecMismatch, match="shard"):
+            run_campaign(
+                shard_tasks(tasks, 1, 2), p, CampaignConfig(jobs=1),
+                resume=True,
+                meta={"spec_digest": spec.digest(), "shard": "1/2"},
+            )
+        with pytest.raises(CampaignSpecMismatch, match="shard"):
+            run_campaign(
+                tasks, p, CampaignConfig(jobs=1), resume=True,
+                meta={"spec_digest": spec.digest()},
+            )
+        # the matching shard spec resumes fine
+        outcome = run_campaign(
+            shard_tasks(tasks, 0, 2)[:2], p, CampaignConfig(jobs=1),
+            resume=True, meta=meta0,
+        )
+        assert outcome.prior == 1 and outcome.ran == 1
+
+
+class TestMergeStores:
+    def _run_shards(self, tasks, digest, tmp_path, n=2):
+        paths = []
+        for i in range(n):
+            p = str(tmp_path / f"shard{i}.jsonl")
+            run_campaign(
+                shard_tasks(tasks, i, n), p, CampaignConfig(jobs=1),
+                meta={"spec_digest": digest, "shard": f"{i}/{n}"},
+            )
+            paths.append(p)
+        return paths
+
+    def test_merge_recovers_full_grid(self, grid, tmp_path):
+        spec, tasks = grid
+        paths = self._run_shards(tasks, spec.digest(), tmp_path)
+        out = str(tmp_path / "merged.jsonl")
+        summary = merge_stores(paths, out)
+        assert summary["results"] == len(tasks)
+        assert summary["duplicates"] == 0
+        assert summary["spec_digest"] == spec.digest()
+        meta, results = RunStore(out).load()
+        assert set(results) == {t.task_id for t in tasks}
+        assert meta["spec_digest"] == spec.digest()
+        assert meta["shards"] == 2
+
+    def test_merged_file_is_deterministic(self, grid, tmp_path):
+        """Merging in any shard order writes identical result lines
+        (sorted by task id)."""
+        spec, tasks = grid
+        paths = self._run_shards(tasks, spec.digest(), tmp_path)
+        a, b = str(tmp_path / "ab.jsonl"), str(tmp_path / "ba.jsonl")
+        merge_stores(paths, a)
+        merge_stores(list(reversed(paths)), b)
+
+        def result_lines(path):
+            with open(path) as fh:
+                return [
+                    l for l in fh
+                    if json.loads(l).get("record") == "result"
+                ]
+
+        assert result_lines(a) == result_lines(b)
+
+    def test_duplicates_deduped_last_wins(self, grid, tmp_path):
+        spec, tasks = grid
+        paths = self._run_shards(tasks, spec.digest(), tmp_path)
+        # merge shard0 twice: every shard0 task id occurs twice
+        out = str(tmp_path / "dup.jsonl")
+        summary = merge_stores([paths[0], paths[0], paths[1]], out)
+        n0 = len(shard_tasks(tasks, 0, 2))
+        assert summary["duplicates"] == n0
+        assert summary["results"] == len(tasks)
+
+    def test_digest_mismatch_refused(self, grid, tmp_path):
+        spec, tasks = grid
+        p0 = str(tmp_path / "a.jsonl")
+        p1 = str(tmp_path / "b.jsonl")
+        run_campaign(
+            shard_tasks(tasks, 0, 2), p0, CampaignConfig(jobs=1),
+            meta={"spec_digest": "aaaaaaaaaaaa"},
+        )
+        run_campaign(
+            shard_tasks(tasks, 1, 2), p1, CampaignConfig(jobs=1),
+            meta={"spec_digest": "bbbbbbbbbbbb"},
+        )
+        out = str(tmp_path / "m.jsonl")
+        with pytest.raises(ValueError, match="different grids"):
+            merge_stores([p0, p1], out)
+        summary = merge_stores([p0, p1], out, force=True)
+        assert summary["results"] == len(tasks)
+        assert summary["spec_digest"] is None
+
+    def test_empty_shard_refused(self, tmp_path):
+        missing = str(tmp_path / "missing.jsonl")
+        with pytest.raises(ValueError, match="no campaign records"):
+            merge_stores([missing], str(tmp_path / "out.jsonl"))
+
+
+class TestShardCli:
+    def test_run_shards_then_merge(self, grid, tmp_path):
+        from repro.__main__ import main
+
+        _spec, tasks = grid
+        s0 = str(tmp_path / "s0.jsonl")
+        s1 = str(tmp_path / "s1.jsonl")
+        base = ["campaign", "run", "--seed", "0", "--nests", "3"]
+        assert main(base + ["--shard", "0/2", "--out", s0]) == 0
+        assert main(base + ["--shard", "1/2", "--out", s1]) == 0
+        merged = str(tmp_path / "m.jsonl")
+        assert main(["campaign", "merge", "--out", merged, s0, s1]) == 0
+        _, results = RunStore(merged).load()
+        assert set(results) == {t.task_id for t in tasks}
+
+    def test_bad_shard_spec_exits_2(self, tmp_path):
+        from repro.__main__ import main
+
+        out = str(tmp_path / "x.jsonl")
+        for bad in ("2", "3/2", "-1/2", "a/b"):
+            assert main(
+                ["campaign", "run", "--out", out, f"--shard={bad}"]
+            ) == 2
+
+    def test_merge_existing_out_needs_force(self, grid, tmp_path):
+        from repro.__main__ import main
+
+        spec, tasks = grid
+        p = str(tmp_path / "s.jsonl")
+        run_campaign(
+            tasks[:2], p, CampaignConfig(jobs=1),
+            meta={"spec_digest": spec.digest()},
+        )
+        out = str(tmp_path / "m.jsonl")
+        assert main(["campaign", "merge", "--out", out, p]) == 0
+        assert main(["campaign", "merge", "--out", out, p]) == 2
+        assert main(["campaign", "merge", "--force", "--out", out, p]) == 0
+
+    def test_merge_mixed_grids_needs_allow_mixed(self, grid, tmp_path):
+        """--force only overwrites the output file; merging shards of
+        *different* grids needs the dedicated --allow-mixed opt-out."""
+        from repro.__main__ import main
+
+        _spec, tasks = grid
+        a = str(tmp_path / "a.jsonl")
+        b = str(tmp_path / "b.jsonl")
+        run_campaign(
+            tasks[:1], a, CampaignConfig(jobs=1),
+            meta={"spec_digest": "aaaaaaaaaaaa"},
+        )
+        run_campaign(
+            tasks[1:2], b, CampaignConfig(jobs=1),
+            meta={"spec_digest": "bbbbbbbbbbbb"},
+        )
+        out = str(tmp_path / "m.jsonl")
+        assert main(["campaign", "merge", "--out", out, a, b]) == 2
+        assert main(
+            ["campaign", "merge", "--force", "--out", out, a, b]
+        ) == 2
+        assert main(
+            ["campaign", "merge", "--allow-mixed", "--out", out, a, b]
+        ) == 0

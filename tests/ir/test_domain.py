@@ -1,0 +1,172 @@
+"""Tests for the polyhedral iteration-domain layer."""
+
+import random
+from itertools import product
+
+import numpy as np
+import pytest
+
+from repro.ir import Domain, NestSyntaxError, parse_nest
+from repro.ir.loopnest import Bound, LoopDim
+
+
+def _loop(var, lo, hi):
+    return LoopDim(var=var, lower=Bound.of(lo), upper=Bound.of(hi))
+
+
+def _tri_loop(var, lo_var, hi):
+    """``for var = lo_var..hi`` with a variable lower bound."""
+    return LoopDim(
+        var=var, lower=Bound(coeffs=((lo_var, 1),)), upper=Bound.of(hi)
+    )
+
+
+class TestConstruction:
+    def test_rectangular_is_trivial_special_case(self):
+        dom = Domain.from_loops([_loop("i", 0, "N"), _loop("j", 1, "M")])
+        assert dom.is_rectangular
+        assert dom.dim == 2
+        # two half-spaces per loop
+        assert len(dom.constraints) == 4
+
+    def test_triangular_is_polyhedral(self):
+        dom = Domain.from_loops([_loop("i", 0, "N"), _tri_loop("j", "i", "N")])
+        assert not dom.is_rectangular
+        assert "polyhedral" in dom.describe()
+
+    def test_inner_variable_reference_rejected(self):
+        with pytest.raises(ValueError, match="outer"):
+            Domain.from_loops([_tri_loop("i", "j", "N"), _loop("j", 0, "N")])
+
+    def test_own_variable_reference_rejected(self):
+        with pytest.raises(ValueError, match="outer"):
+            Domain.from_loops([_tri_loop("i", "i", "N")])
+
+
+class TestEnumeration:
+    PARAMS = {"N": 4, "M": 3}
+
+    def test_rectangular_matches_product(self):
+        dom = Domain.from_loops([_loop("i", 0, "N"), _loop("j", 1, "M")])
+        pts = list(dom.enumerate_points(self.PARAMS))
+        assert pts == list(product(range(0, 5), range(1, 4)))
+        assert dom.size(self.PARAMS) == len(pts)
+
+    def test_triangular_matches_filtered_product(self):
+        dom = Domain.from_loops([_loop("i", 0, "N"), _tri_loop("j", "i", "N")])
+        pts = list(dom.enumerate_points(self.PARAMS))
+        brute = [
+            p for p in product(range(0, 5), range(0, 5)) if p[1] >= p[0]
+        ]
+        assert pts == brute
+        assert dom.size(self.PARAMS) == len(brute)
+
+    def test_point_matrix_matches_enumeration(self):
+        dom = Domain.from_loops([_loop("i", 0, "N"), _tri_loop("j", "i", "N")])
+        mat = dom.point_matrix(self.PARAMS)
+        assert mat.dtype == np.int64
+        assert mat.tolist() == [list(p) for p in dom.enumerate_points(self.PARAMS)]
+
+    def test_membership_mask_agrees_with_contains(self):
+        dom = Domain.from_loops([_loop("i", 0, "N"), _tri_loop("j", "i", "N")])
+        box = dom._box_matrix(self.PARAMS)
+        mask = dom.mask(box, self.PARAMS)
+        for row, ok in zip(box.tolist(), mask.tolist()):
+            assert dom.contains(row, self.PARAMS) == ok
+
+    def test_empty_dimension(self):
+        dom = Domain.from_loops([_loop("i", 3, 1)])
+        assert dom.size({}) == 0
+        assert list(dom.enumerate_points({})) == []
+        assert dom.point_matrix({}).shape == (0, 1)
+
+    def test_zero_depth_single_point(self):
+        dom = Domain.from_loops([])
+        assert dom.size({}) == 1
+        assert list(dom.enumerate_points({})) == [()]
+        assert dom.point_matrix({}).shape == (1, 0)
+
+
+class TestParserRoundTrip:
+    def test_triangular_bounds_parse(self):
+        nest = parse_nest(
+            """array A(2)
+for i = 1..N:
+  for j = i..N:
+    S: A[i, j] = f(A[i, j])
+"""
+        )
+        s = nest.statements[0]
+        assert not s.is_rectangular
+        assert list(s.iteration_domain({"N": 3})) == [
+            (1, 1), (1, 2), (1, 3), (2, 2), (2, 3), (3, 3)
+        ]
+
+    def test_scaled_variable_bound(self):
+        nest = parse_nest(
+            """array A(1)
+for i = 1..N:
+  for j = i..2*i:
+    S: A[j] = f(A[j])
+"""
+        )
+        pts = list(nest.statements[0].iteration_domain({"N": 2}))
+        assert pts == [(1, 1), (1, 2), (2, 2), (2, 3), (2, 4)]
+
+    def test_inner_variable_bound_is_syntax_error(self):
+        with pytest.raises(NestSyntaxError, match="outer"):
+            parse_nest(
+                """array A(1)
+for i = j..N:
+  for j = 1..N:
+    S: A[i] = f(A[j])
+"""
+            )
+
+
+class TestPropertyRandomDomains:
+    """Domain enumeration vs brute-force product + constraint filtering
+    over randomized triangular loop nests (>= 50 seeds)."""
+
+    @pytest.mark.parametrize("seed", range(50))
+    def test_enumeration_matches_brute_force(self, seed):
+        rng = random.Random(seed)
+        params = {"N": rng.randint(2, 4), "M": rng.randint(2, 4)}
+        loops = [_loop("i", rng.randint(0, 1), "N")]
+        # second loop: random triangular/trapezoidal shape over i
+        style = rng.choice(("lower", "upper", "shifted", "rect"))
+        if style == "lower":
+            loops.append(_tri_loop("j", "i", "M"))
+        elif style == "upper":
+            loops.append(
+                LoopDim(
+                    var="j",
+                    lower=Bound.of(0),
+                    upper=Bound(coeffs=(("i", 1),)),
+                )
+            )
+        elif style == "shifted":
+            loops.append(
+                LoopDim(
+                    var="j",
+                    lower=Bound(const=1, coeffs=(("i", 1),)),
+                    upper=Bound(const=1, coeffs=(("M", 1),)),
+                )
+            )
+        else:
+            loops.append(_loop("j", 0, "M"))
+        if rng.random() < 0.5:
+            loops.append(_tri_loop("k", "j", "N"))
+        dom = Domain.from_loops(loops)
+
+        # brute force over a generous box, independent of Domain.box:
+        # only the constraint system decides membership
+        mx = 2 * max(params.values()) + 2
+        brute = [
+            p
+            for p in product(range(-2, mx + 1), repeat=len(loops))
+            if dom.contains(p, params)
+        ]
+        assert list(dom.enumerate_points(params)) == brute
+        assert dom.size(params) == len(brute)
+        assert dom.point_matrix(params).tolist() == [list(p) for p in brute]
