@@ -41,7 +41,14 @@ Registered subsystem gates (beyond the paper artefacts):
 * ``bench_triangular_campaign.py`` — the triangular-domain campaign
   gate (LU/Cholesky/back-substitution corpus + generated triangular
   nests against ``paragon`` 4x4 and ``t3d`` 2x2x2, zero error records),
-  recorded under ``grid_triangular`` in ``BENCH_campaign.json``.
+  recorded under ``grid_triangular`` in ``BENCH_campaign.json``;
+* ``bench_chaos.py`` — the robustness gate: a campaign with injected
+  worker kills, SIGALRM-proof hangs and transient failures (the
+  ``REPRO_FAULT_INJECT`` harness) must complete under the ``resilient``
+  executor with every fault as a typed record, then converge
+  bit-identically to the unfaulted run on a ``retry_failures`` resume
+  (and self-heal in-run with ``retries=2``); measurements in
+  ``BENCH_chaos.json``.
 
 ``--profile`` runs the reference scenarios (an inline campaign grid +
 the reference pricing workload) under ``cProfile`` and writes the top

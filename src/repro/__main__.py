@@ -32,9 +32,17 @@ meshes with ``--m 2``, ``t3d`` wants 3-D meshes with ``--m 3``), e.g.::
     python -m repro campaign run --machines paragon,t3d \
         --mesh 4x4,2x2x2 --m 2,3 --out runs/mixed.jsonl
 
-Malformed arguments (bad ``--mesh``, bad ``--params``, a mesh rank that
-cannot match ``--m``) produce a friendly message on stderr and exit
-code 2.
+``--executor`` picks the execution backend (``inline``, ``pool`` or
+``resilient`` — see :mod:`repro.campaign.executors`); ``--retries`` /
+``--backoff`` retry transient failures (worker crash, timeout, OOM)
+with capped exponential backoff::
+
+    python -m repro campaign run --executor resilient --retries 2 \
+        --timeout 60 --jobs 4 --out runs/hardened.jsonl
+
+Malformed arguments (bad ``--mesh``, bad ``--params``, a non-positive
+``--timeout``, a mesh rank that cannot match ``--m``) produce a
+friendly message on stderr and exit code 2.
 """
 
 from __future__ import annotations
@@ -276,7 +284,23 @@ def _campaign_parser() -> argparse.ArgumentParser:
         )
         p.add_argument(
             "--timeout", type=float, default=None, metavar="SECS",
-            help="per-task wall-clock cap",
+            help="per-task wall-clock cap (must be positive)",
+        )
+        p.add_argument(
+            "--executor", choices=("inline", "pool", "resilient"),
+            default=None,
+            help="execution backend (default: pool when --jobs > 1, "
+            "else inline; resilient adds per-task crash/hang recovery)",
+        )
+        p.add_argument(
+            "--retries", type=int, default=0, metavar="N",
+            help="retry transient task failures (crash/timeout/oom/fault) "
+            "up to N times with exponential backoff (default: 0)",
+        )
+        p.add_argument(
+            "--backoff", type=float, default=0.5, metavar="SECS",
+            help="base retry backoff, doubled per retry and capped "
+            "(default: 0.5)",
         )
         p.add_argument(
             "--max-tasks", type=int, default=None, metavar="K",
@@ -388,6 +412,13 @@ def campaign_main(argv: List[str]) -> int:
         "rect": ("rect",), "tri": ("tri",), "both": ("rect", "tri"),
     }[args.shapes]
     shard = _parse_shard(args.shard) if args.shard else None
+    if args.timeout is not None and args.timeout <= 0:
+        raise CliError(
+            f"--timeout must be positive, got {args.timeout} "
+            "(omit it for no per-task cap)"
+        )
+    if args.retries < 0:
+        raise CliError(f"--retries must be >= 0, got {args.retries}")
 
     import os
 
@@ -456,6 +487,9 @@ def campaign_main(argv: List[str]) -> int:
                 timeout=args.timeout,
                 max_tasks=args.max_tasks,
                 retry_failures=args.retry_failed,
+                executor=args.executor,
+                retries=args.retries,
+                backoff=args.backoff,
             ),
             resume=resume,
             meta=meta,

@@ -13,3 +13,26 @@ def env_int(name: str, default: int) -> int:
         return int(os.environ.get(name, default))
     except ValueError:
         return default
+
+
+def env_float(name: str, default: float) -> float:
+    """Float environment knob; non-numeric values fall back."""
+    try:
+        return float(os.environ.get(name, default))
+    except ValueError:
+        return default
+
+
+def env_flag(name: str, default: bool = False) -> bool:
+    """Boolean environment knob: ``1``/``true``/``yes``/``on`` enable,
+    ``0``/``false``/``no``/``off`` disable, anything else (or unset)
+    falls back to the default."""
+    raw = os.environ.get(name)
+    if raw is None:
+        return default
+    val = raw.strip().lower()
+    if val in ("1", "true", "yes", "on"):
+        return True
+    if val in ("0", "false", "no", "off"):
+        return False
+    return default

@@ -11,25 +11,47 @@ at a time.
 * :mod:`~repro.campaign.workloads` — seeded random nest generator +
   named corpus (``repro.ir.examples`` and the ``examples/*.py`` kernels);
 * :mod:`~repro.campaign.sweep` — grid spec expansion with stable task ids;
-* :mod:`~repro.campaign.runner` — multiprocessing execution, per-task
+* :mod:`~repro.campaign.runner` — campaign orchestration, per-task
   error capture and timeouts, JSONL checkpoint/resume;
+* :mod:`~repro.campaign.executors` — pluggable execution backends
+  (``inline``, ``pool``, ``resilient``) with retry/backoff,
+  worker-death recovery and hang detection;
+* :mod:`~repro.campaign.faults` — deterministic fault-injection
+  harness (``REPRO_FAULT_INJECT``) for chaos testing;
 * :mod:`~repro.campaign.store` — typed result records, tolerant JSONL
   loading, aggregation into summary tables.
 
 CLI: ``python -m repro campaign run|resume|summarize``.
 """
 
+from .executors import (
+    BACKOFF_CAP,
+    Executor,
+    ExecutorConfig,
+    RETRYABLE_KINDS,
+    executor_names,
+    make_executor,
+)
+from .faults import FAULT_ENV, InjectedFault, parse_fault_spec, would_fault
 from .runner import (
     CampaignConfig,
     CampaignOutcome,
     CampaignSpecMismatch,
     clear_compile_cache,
     compile_cache_stats,
+    crashed_result,
     execute_task,
     run_campaign,
     set_compile_cache_size,
 )
-from .store import RunStore, TaskResult, merge_stores, summarize_results
+from .store import (
+    ERROR_KINDS,
+    STATUSES,
+    RunStore,
+    TaskResult,
+    merge_stores,
+    summarize_results,
+)
 from .sweep import (
     MACHINES,
     SHAPES,
@@ -68,10 +90,23 @@ __all__ = [
     "CampaignSpecMismatch",
     "execute_task",
     "run_campaign",
+    "crashed_result",
     "clear_compile_cache",
     "compile_cache_stats",
     "set_compile_cache_size",
+    "Executor",
+    "ExecutorConfig",
+    "executor_names",
+    "make_executor",
+    "RETRYABLE_KINDS",
+    "BACKOFF_CAP",
+    "FAULT_ENV",
+    "InjectedFault",
+    "parse_fault_spec",
+    "would_fault",
     "RunStore",
     "TaskResult",
+    "ERROR_KINDS",
+    "STATUSES",
     "summarize_results",
 ]

@@ -3,12 +3,24 @@
 :func:`execute_task` compiles and prices one :class:`SweepTask` — the
 two-step heuristic *and* the greedy Feautrier baseline on the same
 machine model, so every record carries its heuristic-vs-baseline ratio.
-:func:`run_campaign` drives a task list through a multiprocessing pool
-(or inline for ``jobs=1``), appending each result to the
+:func:`run_campaign` drives a task list through a pluggable execution
+backend (see :mod:`repro.campaign.executors`: ``inline``, ``pool``,
+``resilient``), appending each result to the
 :class:`~repro.campaign.store.RunStore` as it lands; killing the
 process at any point loses at most the in-flight tasks, and re-running
 with ``resume=True`` executes exactly the tasks whose results are not
 on disk yet.
+
+Failures are **typed**: every non-ok record carries an ``error_kind``
+from the taxonomy in :data:`repro.campaign.store.ERROR_KINDS` —
+``compile``/``price`` for deterministic stage failures, ``timeout``
+for wall-clock caps and supervisor-detected hangs, ``crash`` for
+worker death (the ``pool``/``resilient`` backends convert a SIGKILLed
+worker into ``status="crashed"`` records instead of hanging the
+campaign), ``oom`` for in-process memory exhaustion and ``fault`` for
+injected transient failures.  Transient kinds are retried with capped
+exponential backoff when ``CampaignConfig.retries`` is set; the
+attempt count lands in ``TaskResult.attempts``.
 
 **Compile once, price many**: the heuristic and the Feautrier baseline
 depend only on ``(workload, m, heuristic knobs)`` — not on the machine
@@ -35,18 +47,17 @@ Per-task failures never abort the campaign: exceptions become
 
 from __future__ import annotations
 
-import multiprocessing
 import signal
 import time
 import traceback
 from collections import OrderedDict
 from dataclasses import dataclass
-from functools import partial
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from .._config import env_int
+from . import faults
 from .store import RunStore, TaskResult
-from .sweep import SweepTask, group_by_compile_key
+from .sweep import SweepTask, group_by_compile_key, order_groups_for_dispatch
 
 
 class CampaignSpecMismatch(RuntimeError):
@@ -55,6 +66,16 @@ class CampaignSpecMismatch(RuntimeError):
 
 class _TaskTimeout(Exception):
     pass
+
+
+class _StageFailure(Exception):
+    """Wraps a task exception with the pipeline stage it escaped from
+    (the ``compile``/``price`` halves of the error taxonomy)."""
+
+    def __init__(self, kind: str, exc: BaseException):
+        super().__init__(str(exc))
+        self.kind = kind
+        self.exc = exc
 
 
 def _alarm_handler(signum, frame):
@@ -195,20 +216,43 @@ def _price_task(task: SweepTask, cw: _CompiledWorkload) -> TaskResult:
     )
 
 
-def _execute_task_inner(task: SweepTask) -> TaskResult:
-    cw, hit = _compile_for_task(task)
-    result = _price_task(task, cw)
+def _execute_task_inner(task: SweepTask, attempt: int) -> TaskResult:
+    faults.maybe_inject(task.task_id, attempt)
+    try:
+        cw, hit = _compile_for_task(task)
+    except (MemoryError, _TaskTimeout, faults.InjectedFault):
+        raise
+    except Exception as exc:
+        raise _StageFailure("compile", exc) from exc
+    try:
+        result = _price_task(task, cw)
+    except (MemoryError, _TaskTimeout, faults.InjectedFault):
+        raise
+    except Exception as exc:
+        raise _StageFailure("price", exc) from exc
     result.compile_cache_hit = hit
     return result
 
 
-def execute_task(task: SweepTask, timeout: Optional[float] = None) -> TaskResult:
+def execute_task(
+    task: SweepTask, timeout: Optional[float] = None, attempt: int = 1
+) -> TaskResult:
     """Run one task with error capture and an optional wall-clock cap.
 
     Never raises for task-level failures — compile errors, illegal
-    schedules, pricing blowups all come back as ``status="error"``
-    records so one bad grid cell cannot sink a campaign.
+    schedules, pricing blowups all come back as typed ``status="error"``
+    records (``error_kind`` from the taxonomy) so one bad grid cell
+    cannot sink a campaign.  A non-positive ``timeout`` is a *caller*
+    bug and raises ``ValueError`` (``setitimer`` would otherwise either
+    raise cryptically or silently disarm the alarm); ``attempt`` is the
+    1-based retry counter threaded through to fault injection and the
+    recorded ``TaskResult.attempts``.
     """
+    if timeout is not None and timeout <= 0:
+        raise ValueError(
+            f"timeout must be positive, got {timeout!r} (omit it for "
+            "no per-task cap)"
+        )
     t0 = time.perf_counter()
     use_alarm = timeout is not None and hasattr(signal, "SIGALRM")
     old_handler = None
@@ -220,25 +264,44 @@ def execute_task(task: SweepTask, timeout: Optional[float] = None) -> TaskResult
         # the task finishing and the disarm still lands inside this
         # try and is absorbed as a timeout, never escaping the runner
         try:
-            result = _execute_task_inner(task)
+            result = _execute_task_inner(task, attempt)
         finally:
             if use_alarm:
                 signal.setitimer(signal.ITIMER_REAL, 0)
     except _TaskTimeout:
-        result = _failure_result(task, "timeout", f"task exceeded {timeout}s")
-    except Exception as exc:
+        result = _failure_result(
+            task, "timeout", f"task exceeded {timeout}s", kind="timeout"
+        )
+    except faults.InjectedFault as exc:
+        result = _failure_result(task, "error", str(exc), kind="fault")
+    except MemoryError as exc:
+        result = _failure_result(
+            task, "error", f"MemoryError: {exc}", kind="oom"
+        )
+    except _StageFailure as sf:
+        exc = sf.exc
         tail = traceback.format_exc().strip().splitlines()[-3:]
         result = _failure_result(
-            task, "error", f"{type(exc).__name__}: {exc} | " + " / ".join(tail)
+            task,
+            "error",
+            f"{type(exc).__name__}: {exc} | " + " / ".join(tail),
+            kind=sf.kind,
         )
     finally:
         if use_alarm:
             signal.signal(signal.SIGALRM, old_handler)
     result.seconds = time.perf_counter() - t0
+    result.attempts = attempt
     return result
 
 
-def _failure_result(task: SweepTask, status: str, message: str) -> TaskResult:
+def _failure_result(
+    task: SweepTask,
+    status: str,
+    message: str,
+    kind: Optional[str] = None,
+    attempts: int = 1,
+) -> TaskResult:
     return TaskResult(
         task_id=task.task_id,
         workload=task.workload.name,
@@ -248,17 +311,36 @@ def _failure_result(task: SweepTask, status: str, message: str) -> TaskResult:
         rank_weights=task.rank_weights,
         status=status,
         error=message,
+        error_kind=kind,
+        attempts=attempts,
+    )
+
+
+def crashed_result(
+    task: SweepTask, message: str, attempts: int = 1
+) -> TaskResult:
+    """A ``status="crashed"`` record for a task whose worker died
+    (executor-side entry point: the task never got to report itself)."""
+    return _failure_result(
+        task, "crashed", message, kind="crash", attempts=attempts
     )
 
 
 def _execute_task_group(
-    group: Sequence[SweepTask], timeout: Optional[float] = None
+    group: Sequence[SweepTask],
+    timeout: Optional[float] = None,
+    compile_cache_size: Optional[int] = None,
 ) -> List[TaskResult]:
     """Run one compile-key group in order (worker-side entry point).
 
     All tasks of the group share a compile key, so the first task pays
     the compile and the rest hit the worker's cache — error capture and
-    the wall-clock cap stay per task."""
+    the wall-clock cap stay per task.  ``compile_cache_size`` is the
+    parent's cache setting passed *explicitly* so spawn-context workers
+    (no fork inheritance) honour ``set_compile_cache_size`` /
+    ``REPRO_CAMPAIGN_COMPILE_CACHE`` values set after import."""
+    if compile_cache_size is not None and compile_cache_size != _compile_cache_size:
+        set_compile_cache_size(compile_cache_size)
     return [execute_task(task, timeout=timeout) for task in group]
 
 
@@ -271,9 +353,28 @@ class CampaignConfig:
     #: stop after this many *new* results (test/CI hook simulating an
     #: interrupted campaign; the checkpoint stays resumable)
     max_tasks: Optional[int] = None
-    #: on resume, re-run tasks whose stored record is error/timeout
-    #: (by default failures count as done and are never retried)
+    #: on resume, re-run tasks whose stored record is error/timeout/
+    #: crashed (by default failures count as done and are never
+    #: retried); the superseded failure lines are compacted away
     retry_failures: bool = False
+    #: execution backend (see :mod:`repro.campaign.executors`); None
+    #: picks ``pool`` for ``jobs > 1`` and ``inline`` otherwise
+    executor: Optional[str] = None
+    #: extra attempts per task for transient failures (fault/crash/
+    #: oom/timeout kinds); 0 disables in-run retries
+    retries: int = 0
+    #: base delay of the capped exponential retry backoff, in seconds
+    #: (delay = backoff * 2**(retry - 1), capped at BACKOFF_CAP)
+    backoff: float = 0.5
+    #: resilient executor: max silence (no heartbeat/result) from a
+    #: supervised worker before it is declared wedged and killed
+    heartbeat_timeout: float = 30.0
+    #: multiprocessing start method for the process-based executors
+    #: (None = fork when available, else the platform default)
+    mp_context: Optional[str] = None
+    #: force fsync-per-append on the result store (None = env knob
+    #: ``REPRO_STORE_FSYNC``)
+    fsync: Optional[bool] = None
 
 
 @dataclass
@@ -288,15 +389,26 @@ class CampaignOutcome:
     errors: int
     timeouts: int
     remaining: int
+    #: tasks whose worker died under them (status="crashed")
+    crashed: int = 0
+    #: total extra attempts consumed by in-run retries
+    retried: int = 0
     #: compile-stage cache telemetry, aggregated over all workers
     compile_cache_hits: int = 0
     compile_cache_misses: int = 0
 
     def describe(self) -> str:
+        counts = (
+            f"{self.ok} ok, {self.errors} error, {self.timeouts} timeout"
+        )
+        if self.crashed:
+            counts += f", {self.crashed} crashed"
         bits = [
-            f"{self.ran} task(s) run ({self.ok} ok, {self.errors} error, "
-            f"{self.timeouts} timeout), {self.prior} restored from checkpoint"
+            f"{self.ran} task(s) run ({counts}), "
+            f"{self.prior} restored from checkpoint"
         ]
+        if self.retried:
+            bits.append(f"{self.retried} retry attempt(s)")
         priced = self.compile_cache_hits + self.compile_cache_misses
         if priced:
             bits.append(
@@ -324,7 +436,12 @@ def run_campaign(
     present) and runs only the tasks without a stored result.
     """
     config = config or CampaignConfig()
-    store = RunStore(out_path)
+    if config.timeout is not None and config.timeout <= 0:
+        raise ValueError(
+            f"timeout must be positive, got {config.timeout!r} (omit it "
+            "for no per-task cap)"
+        )
+    store = RunStore(out_path, fsync=config.fsync)
     meta = dict(meta or {})
     done: Dict[str, TaskResult] = {}
 
@@ -363,8 +480,18 @@ def run_campaign(
             store.append_meta(meta)
         if config.retry_failures:
             # dropped records re-run; their fresh result line supersedes
-            # the old one (the loader keeps the last record per task id)
-            done = {k: r for k, r in done.items() if r.status == "ok"}
+            # the old one (the loader keeps the last record per task id).
+            # Compact the superseded failure lines away so the
+            # checkpoint does not grow a stale line per retry round.
+            survivors = {k: r for k, r in done.items() if r.status == "ok"}
+            if len(survivors) != len(done):
+                keep_meta = {
+                    k: v
+                    for k, v in prev_meta.items()
+                    if k not in ("record", "_skipped_lines")
+                } or meta
+                store.compact(keep_meta, survivors.values())
+            done = survivors
     else:
         store.start(meta)
 
@@ -375,19 +502,23 @@ def run_campaign(
         else pending
     )
 
-    ran = ok = errors = timeouts = 0
+    ran = ok = errors = timeouts = crashed = retried = 0
     cache_hits = cache_misses = 0
 
     def record(result: TaskResult) -> None:
-        nonlocal ran, ok, errors, timeouts, cache_hits, cache_misses
+        nonlocal ran, ok, errors, timeouts, crashed, retried
+        nonlocal cache_hits, cache_misses
         store.append(result)
         ran += 1
         if result.status == "ok":
             ok += 1
         elif result.status == "timeout":
             timeouts += 1
+        elif result.status == "crashed":
+            crashed += 1
         else:
             errors += 1
+        retried += max(0, result.attempts - 1)
         if result.compile_cache_hit is True:
             cache_hits += 1
         elif result.compile_cache_hit is False:
@@ -398,20 +529,33 @@ def run_campaign(
     # cluster cells of one compiled nest so each group lands on one
     # worker: K machine x mesh cells -> one compile + K prices
     groups = group_by_compile_key(capped)
-    group_worker = partial(_execute_task_group, timeout=config.timeout)
-    if config.jobs <= 1 or len(capped) <= 1:
-        for group in groups:
-            for result in group_worker(group):
-                record(result)
-    else:
-        try:
-            ctx = multiprocessing.get_context("fork")
-        except ValueError:  # platform without fork
-            ctx = multiprocessing.get_context()
-        with ctx.Pool(processes=config.jobs) as pool:
-            for results in pool.imap_unordered(group_worker, groups, chunksize=1):
-                for result in results:
-                    record(result)
+
+    from .executors import ExecutorConfig, make_executor
+
+    name = config.executor
+    if name is None:
+        name = "pool" if config.jobs > 1 and len(capped) > 1 else "inline"
+    # process backends take groups largest-first so the run does not
+    # end on one straggler group; inline keeps grid order
+    groups = order_groups_for_dispatch(
+        groups, largest_first=(name != "inline" and config.jobs > 1)
+    )
+    backend = make_executor(
+        name,
+        ExecutorConfig(
+            jobs=config.jobs,
+            timeout=config.timeout,
+            retries=config.retries,
+            backoff=config.backoff,
+            heartbeat_timeout=config.heartbeat_timeout,
+            mp_context=config.mp_context,
+            compile_cache_size=_compile_cache_size,
+            fault_spec=faults.active_spec(),
+        ),
+    )
+    for batch in backend.run(groups):
+        for result in batch:
+            record(result)
 
     return CampaignOutcome(
         path=out_path,
@@ -422,6 +566,8 @@ def run_campaign(
         errors=errors,
         timeouts=timeouts,
         remaining=len(pending) - len(capped),
+        crashed=crashed,
+        retried=retried,
         compile_cache_hits=cache_hits,
         compile_cache_misses=cache_misses,
     )

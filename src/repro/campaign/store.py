@@ -13,12 +13,25 @@ from __future__ import annotations
 import json
 import os
 from dataclasses import asdict, dataclass, field
-from typing import Dict, Iterable, List, Optional, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
+from .._config import env_flag
 from ..report import format_mesh
 
 #: classification keys aggregated by the summary (mapping counts)
 CLASS_KEYS = ("local", "translation", "macro", "decomposed", "general")
+
+#: the structured error taxonomy recorded in ``TaskResult.error_kind``:
+#: ``compile``/``price`` locate deterministic failures by pipeline
+#: stage, ``timeout`` covers wall-clock caps and supervisor-detected
+#: hangs, ``crash`` is worker death (SIGKILL, segfault), ``oom`` is
+#: memory exhaustion caught in-process, ``fault`` is an injected
+#: transient failure (see :mod:`repro.campaign.faults`)
+ERROR_KINDS = ("compile", "price", "timeout", "crash", "oom", "fault")
+
+#: ``TaskResult.status`` values ("crashed" = the worker died under the
+#: task; resilient/pool executors record it instead of hanging)
+STATUSES = ("ok", "error", "timeout", "crashed")
 
 
 @dataclass
@@ -37,7 +50,7 @@ class TaskResult:
     mesh: Tuple[int, ...]
     m: int
     rank_weights: bool
-    status: str  # "ok" | "error" | "timeout"
+    status: str  # see STATUSES
     counts: Dict[str, int] = field(default_factory=dict)
     residuals: int = 0
     total_time: float = 0.0
@@ -46,6 +59,12 @@ class TaskResult:
     baseline_residuals: int = 0
     baseline_time: float = 0.0
     error: Optional[str] = None
+    #: structured failure class (see ERROR_KINDS); None for ok records
+    error_kind: Optional[str] = None
+    #: attempts consumed (retry/backoff telemetry); like ``seconds``
+    #: this depends on the run's fault history, not the task, so it is
+    #: excluded from equality and from ``deterministic_dict``
+    attempts: int = field(default=1, compare=False)
     seconds: float = field(default=0.0, compare=False)
     #: whether this task's compile stage was served from the runner's
     #: per-worker cache — in-memory telemetry only, *never* written to
@@ -54,9 +73,12 @@ class TaskResult:
     compile_cache_hit: Optional[bool] = field(default=None, compare=False)
 
     def deterministic_dict(self) -> Dict:
-        """The payload minus wall-clock timing (resume-equality basis)."""
+        """The payload minus wall-clock timing and attempt counts (the
+        resume-equality basis: a faulted-then-retried campaign must
+        converge to the same deterministic payload as a clean one)."""
         d = self.to_dict()
         d.pop("seconds", None)
+        d.pop("attempts", None)
         return d
 
     def to_dict(self) -> Dict:
@@ -64,6 +86,13 @@ class TaskResult:
         d["record"] = "result"
         d["mesh"] = list(self.mesh)
         d.pop("compile_cache_hit", None)
+        # default-valued taxonomy fields are omitted so records of a
+        # fault-free campaign stay byte-identical to the historical
+        # format (golden-tested)
+        if self.error_kind is None:
+            d.pop("error_kind", None)
+        if self.attempts == 1:
+            d.pop("attempts", None)
         return d
 
     @staticmethod
@@ -84,25 +113,80 @@ class TaskResult:
             baseline_residuals=int(d.get("baseline_residuals", 0)),
             baseline_time=float(d.get("baseline_time", 0.0)),
             error=d.get("error"),
+            error_kind=d.get("error_kind"),
+            attempts=int(d.get("attempts", 1)),
             seconds=float(d.get("seconds", 0.0)),
         )
 
 
 class RunStore:
-    """Append-only JSONL store for one campaign run."""
+    """Append-only JSONL store for one campaign run.
 
-    def __init__(self, path: str):
+    ``fsync`` controls whether every append is forced to stable storage
+    (survives power loss, not just process death).  Appends are always
+    flushed to the OS — a killed writer loses at most the in-flight
+    record either way — but per-record ``fsync`` costs real throughput
+    on large campaigns, so it is **opt-in**: pass ``fsync=True`` or set
+    ``REPRO_STORE_FSYNC=1``.
+    """
+
+    def __init__(self, path: str, fsync: Optional[bool] = None):
         self.path = path
+        self.fsync = env_flag("REPRO_STORE_FSYNC") if fsync is None else fsync
 
     # -- writing --------------------------------------------------------
 
+    def _tmp_path(self) -> str:
+        return f"{self.path}.tmp.{os.getpid()}"
+
     def start(self, meta: Dict) -> None:
-        """Create/truncate the file and write the meta record."""
+        """Create/truncate the file and write the meta record.
+
+        The write is atomic (temp file + rename): a crash mid-``start``
+        leaves either the previous file or the new one-line file on
+        disk, never a half-written meta record.
+        """
         parent = os.path.dirname(os.path.abspath(self.path))
         os.makedirs(parent, exist_ok=True)
-        with open(self.path, "w") as fh:
-            fh.write(json.dumps({"record": "meta", **meta}, sort_keys=True))
-            fh.write("\n")
+        tmp = self._tmp_path()
+        try:
+            with open(tmp, "w") as fh:
+                fh.write(json.dumps({"record": "meta", **meta}, sort_keys=True))
+                fh.write("\n")
+                fh.flush()
+                if self.fsync:
+                    os.fsync(fh.fileno())
+            os.replace(tmp, self.path)
+        finally:
+            if os.path.exists(tmp):
+                os.unlink(tmp)
+
+    def compact(self, meta: Dict, results: "Iterable[TaskResult]") -> None:
+        """Atomically rewrite the store as ``meta`` + ``results``.
+
+        Used by ``retry_failures`` resume to drop superseded failure
+        lines (a retried task's fresh record already wins by
+        last-record-wins; compaction keeps the checkpoint from growing
+        one stale line per retry).  Temp-file + rename, so a crash
+        mid-compaction leaves the previous file intact.
+        """
+        meta = {k: v for k, v in meta.items() if k != "_skipped_lines"}
+        meta.pop("record", None)
+        tmp = self._tmp_path()
+        try:
+            with open(tmp, "w") as fh:
+                fh.write(json.dumps({"record": "meta", **meta}, sort_keys=True))
+                fh.write("\n")
+                for r in results:
+                    fh.write(json.dumps(r.to_dict(), sort_keys=True))
+                    fh.write("\n")
+                fh.flush()
+                if self.fsync:
+                    os.fsync(fh.fileno())
+            os.replace(tmp, self.path)
+        finally:
+            if os.path.exists(tmp):
+                os.unlink(tmp)
 
     def append_meta(self, meta: Dict) -> None:
         """Append a meta record without touching existing results (used
@@ -132,7 +216,8 @@ class RunStore:
             fh.write(json.dumps(result.to_dict(), sort_keys=True))
             fh.write("\n")
             fh.flush()
-            os.fsync(fh.fileno())
+            if self.fsync:
+                os.fsync(fh.fileno())
 
     # -- reading --------------------------------------------------------
 
@@ -182,8 +267,12 @@ def merge_stores(
     merged meta carries the shards' common ``spec_digest`` and the
     shard file list, and results are written in sorted task-id order so
     the merged file is deterministic regardless of shard completion
-    order.  Shards recorded for *different* grids are refused unless
-    ``force`` is given (the CLI spells it ``--allow-mixed``).
+    order.  The merge is **crash-safe**: output is written to a temp
+    file and renamed into place, so a merge killed mid-write never
+    leaves a half-merged (or clobbered) ``out_path`` — in particular a
+    pre-existing file at ``out_path`` survives any failure.  Shards
+    recorded for *different* grids are refused unless ``force`` is
+    given (the CLI spells it ``--allow-mixed``).
 
     Returns a summary dict: ``results``, ``duplicates``, ``shards``,
     ``spec_digest``, ``skipped_lines``.
@@ -214,10 +303,10 @@ def merge_stores(
         "merged_from": [os.path.basename(p) for p in paths],
         "shards": len(paths),
     }
-    store = RunStore(out_path)
-    store.start(out_meta)
-    for tid in sorted(merged):
-        store.append(merged[tid])
+    # write-temp-then-rename: the whole merged store lands atomically
+    RunStore(out_path).compact(
+        out_meta, (merged[tid] for tid in sorted(merged))
+    )
     return {
         "results": len(merged),
         "duplicates": duplicates,
@@ -269,6 +358,7 @@ def summarize_results(results: Iterable[TaskResult]) -> List[Dict]:
             "ok": len(ok),
             "errors": sum(1 for r in rs if r.status == "error"),
             "timeouts": sum(1 for r in rs if r.status == "timeout"),
+            "crashed": sum(1 for r in rs if r.status == "crashed"),
             "residuals": sum(r.residuals for r in ok),
             "baseline_residuals": sum(r.baseline_residuals for r in ok),
             # None (JSON null) rather than NaN, which json.dump would

@@ -188,6 +188,26 @@ def group_by_compile_key(tasks: Sequence[SweepTask]) -> List[List[SweepTask]]:
     return [groups[k] for k in order]
 
 
+def order_groups_for_dispatch(
+    groups: Sequence[List[SweepTask]], largest_first: bool = False
+) -> List[List[SweepTask]]:
+    """Dispatch order for a batch of compile-key groups.
+
+    With ``largest_first`` the groups are sorted by descending size
+    (ties broken by first task id, so the order stays deterministic) —
+    longest-processing-time-first scheduling, which keeps a process
+    pool from ending on one straggler group.  Without it the
+    first-occurrence grid order is preserved (the inline backend uses
+    this so single-process runs append records in grid order).
+    """
+    if not largest_first:
+        return [list(g) for g in groups]
+    return sorted(
+        (list(g) for g in groups),
+        key=lambda g: (-len(g), g[0].task_id if g else ""),
+    )
+
+
 #: workload shape families understood by :func:`default_spec` and the
 #: CLI's ``--shapes`` flag
 SHAPES = ("rect", "tri")

@@ -67,7 +67,7 @@ def format_campaign_summary(rows: Sequence[Dict]) -> str:
         return "campaign: no results"
     headers = [
         "machine", "mesh", "m", "rank_wt", "tasks", "ok", "err", "t/o",
-        "local", "transl", "macro", "decomp", "general",
+        "crash", "local", "transl", "macro", "decomp", "general",
         "resid", "base_resid", "res_ratio", "base/heur", "secs", "tasks/s",
     ]
     table_rows = [
@@ -75,6 +75,7 @@ def format_campaign_summary(rows: Sequence[Dict]) -> str:
             r["machine"], r["mesh"], r["m"],
             "on" if r["rank_weights"] else "off",
             r["tasks"], r["ok"], r["errors"], r["timeouts"],
+            r.get("crashed", 0),
             r["local"], r["translation"], r["macro"], r["decomposed"],
             r["general"], r["residuals"], r["baseline_residuals"],
             "-" if r.get("residual_ratio") is None else r["residual_ratio"],

@@ -1,8 +1,13 @@
-"""JSONL store: append/load roundtrip, truncation tolerance, summary."""
+"""JSONL store: append/load roundtrip, truncation tolerance, summary,
+durability knobs and crash-safe rewrites."""
 
+import glob
 import json
+import os
 
-from repro.campaign import RunStore, TaskResult, summarize_results
+import pytest
+
+from repro.campaign import RunStore, TaskResult, merge_stores, summarize_results
 
 
 def _result(i, status="ok", machine="paragon"):
@@ -87,6 +92,97 @@ class TestRunStore:
         b.seconds = 99.0
         assert a.deterministic_dict() == b.deterministic_dict()
         assert a.to_dict() != b.to_dict()
+
+    def test_deterministic_dict_excludes_attempt_count(self):
+        # a retried-ok record must converge bit-identically with a
+        # first-try-ok record (the chaos gate depends on this)
+        a, b = _result(0), _result(0)
+        b.attempts = 3
+        assert a.deterministic_dict() == b.deterministic_dict()
+
+    def test_default_fields_omitted_for_byte_compat(self):
+        # pre-taxonomy stores must stay byte-identical: error_kind=None
+        # and attempts=1 never appear on the wire
+        d = _result(0).to_dict()
+        assert "error_kind" not in d and "attempts" not in d
+        r = _result(1, status="error")
+        r.error_kind = "compile"
+        r.attempts = 2
+        d = r.to_dict()
+        assert d["error_kind"] == "compile" and d["attempts"] == 2
+        back = TaskResult.from_dict(d)
+        assert back.error_kind == "compile" and back.attempts == 2
+
+
+class TestDurability:
+    def test_fsync_knob_from_env(self, tmp_path, monkeypatch):
+        monkeypatch.delenv("REPRO_STORE_FSYNC", raising=False)
+        assert RunStore(str(tmp_path / "a.jsonl")).fsync is False
+        monkeypatch.setenv("REPRO_STORE_FSYNC", "1")
+        assert RunStore(str(tmp_path / "b.jsonl")).fsync is True
+        # an explicit argument beats the environment
+        assert RunStore(str(tmp_path / "c.jsonl"), fsync=False).fsync is False
+
+    def test_fsynced_append_roundtrips(self, tmp_path):
+        store = RunStore(str(tmp_path / "run.jsonl"), fsync=True)
+        store.start({"spec_digest": "abc"})
+        store.append(_result(0))
+        meta, results = store.load()
+        assert meta["spec_digest"] == "abc" and sorted(results) == ["id0000"]
+
+    def test_start_leaves_no_temp_files(self, tmp_path):
+        store = RunStore(str(tmp_path / "run.jsonl"))
+        store.start({"spec_digest": "abc"})
+        store.compact({"spec_digest": "abc"}, [_result(0)])
+        assert glob.glob(str(tmp_path / "*.tmp.*")) == []
+
+    def test_compact_drops_superseded_lines_and_markers(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        store = RunStore(str(path))
+        store.start({"spec_digest": "abc"})
+        store.append(_result(0, status="error"))
+        store.append(_result(0))  # supersedes the failure
+        text = path.read_text()
+        path.write_text(text + '{"half a rec')  # killed writer
+        meta, results = store.load()
+        assert meta["_skipped_lines"] == 1
+        store.compact(meta, results.values())
+        meta, results = store.load()
+        assert "_skipped_lines" not in meta
+        assert meta["spec_digest"] == "abc"
+        assert len(path.read_text().splitlines()) == 2  # meta + 1 result
+        assert results["id0000"].status == "ok"
+
+
+class TestMergeCrashSafety:
+    def _shard(self, tmp_path, name, indices, digest="abc"):
+        p = str(tmp_path / name)
+        store = RunStore(p)
+        store.start({"spec_digest": digest})
+        for i in indices:
+            store.append(_result(i))
+        return p
+
+    def test_failed_merge_leaves_existing_output_untouched(self, tmp_path):
+        a = self._shard(tmp_path, "a.jsonl", [0], digest="abc")
+        b = self._shard(tmp_path, "b.jsonl", [1], digest="zzz")
+        out = tmp_path / "out.jsonl"
+        out.write_text("precious bytes\n")
+        with pytest.raises(ValueError, match="different grids"):
+            merge_stores([a, b], str(out))
+        assert out.read_text() == "precious bytes\n"
+        assert glob.glob(str(tmp_path / "out.jsonl.tmp.*")) == []
+
+    def test_successful_merge_is_atomic_and_clean(self, tmp_path):
+        a = self._shard(tmp_path, "a.jsonl", [0, 1])
+        b = self._shard(tmp_path, "b.jsonl", [1, 2])
+        out = str(tmp_path / "out.jsonl")
+        summary = merge_stores([a, b], out)
+        assert summary["results"] == 3 and summary["duplicates"] == 1
+        assert glob.glob(out + ".tmp.*") == []
+        meta, results = RunStore(out).load()
+        assert meta["spec_digest"] == "abc"
+        assert sorted(results) == ["id0000", "id0001", "id0002"]
 
 
 class TestSummarize:
