@@ -1,0 +1,156 @@
+"""Observability overhead gates + the traced per-stage breakdown.
+
+Not a paper artefact — the subsystem gate for :mod:`repro.obs`:
+
+* **disabled tracing is near-free**: a ``span()`` call with tracing off
+  is one module-flag read returning a shared no-op (micro-gate below),
+  and a full campaign run with tracing disabled (the default) stays
+  within ``OVERHEAD_TOLERANCE`` of the throughput recorded in
+  ``BENCH_campaign.json``'s ``grid_2d`` section (strict-failed under
+  ``REPRO_PERF_STRICT=1``, warned otherwise — same policy as the other
+  perf gates);
+* **traced runs account for their time**: per-stage totals (compile +
+  price + executor overhead) must sum to the summed task wall time
+  exactly (they do by construction — overhead is the residual) and the
+  instrumented stages must *dominate* it (the spans are not missing the
+  work);
+* the traced run's per-stage totals land in ``BENCH_trace.json``
+  (section ``grid_2d``) — the per-PR answer to "which stage owns the
+  throughput trend?" next to ``BENCH_campaign.json``'s totals.
+"""
+
+import os
+import time
+import timeit
+import warnings
+
+import pytest
+
+from repro.campaign import CampaignConfig, default_spec, run_campaign
+from repro.obs import load_trace, span, stage_totals, tracing
+
+SEED = 0
+NESTS = 8
+JOBS = 2
+#: same grid shape as bench_campaign_throughput.py's grid_2d section,
+#: so the overhead comparison is apples-to-apples
+MESHES = ((4, 4), (2, 2))
+
+#: allowed throughput loss of a tracing-disabled run vs the recorded
+#: grid_2d tasks/s (5%)
+OVERHEAD_TOLERANCE = 0.05
+#: ceiling on one disabled span() call (seconds) — generous so CI noise
+#: never trips it; the real number is tens of nanoseconds
+DISABLED_SPAN_CEILING = 2e-6
+#: traced stage seconds (compile + price) must cover at least this
+#: fraction of summed task wall time
+STAGE_COVERAGE_FLOOR = 0.5
+
+STRICT = os.environ.get("REPRO_PERF_STRICT", "") == "1"
+
+
+def _grid():
+    spec = default_spec(seed=SEED, nests=NESTS, meshes=MESHES)
+    return spec, spec.expand()
+
+
+def test_disabled_span_is_nearly_free():
+    """The no-op fast path: flag read + shared singleton, no clock."""
+    assert not tracing.is_enabled()
+    n = 100_000
+    per_call = timeit.timeit(lambda: span("x"), number=n) / n
+    assert per_call < DISABLED_SPAN_CEILING, (
+        f"disabled span() costs {per_call * 1e9:.0f}ns/call "
+        f"(ceiling {DISABLED_SPAN_CEILING * 1e9:.0f}ns)"
+    )
+
+
+def test_trace_overhead_and_stage_breakdown(tmp_path):
+    spec, tasks = _grid()
+    meta = {"spec_digest": spec.digest()}
+
+    # --- tracing disabled (the default): measure clean throughput -----
+    assert not tracing.is_enabled()
+    t0 = time.perf_counter()
+    outcome = run_campaign(
+        tasks, str(tmp_path / "plain.jsonl"), CampaignConfig(jobs=JOBS),
+        meta=meta,
+    )
+    plain_wall = time.perf_counter() - t0
+    assert outcome.ok == len(tasks) and outcome.errors == 0
+    plain_tps = len(tasks) / plain_wall
+
+    from _harness import previous_stat, record_bench
+
+    recorded_tps = previous_stat("campaign", "grid_2d", "tasks_per_second")
+    if recorded_tps > 0:
+        floor = recorded_tps * (1.0 - OVERHEAD_TOLERANCE)
+        if plain_tps < floor:
+            msg = (
+                f"tracing-disabled campaign ran {plain_tps:.1f} tasks/s, "
+                f"more than {OVERHEAD_TOLERANCE:.0%} below the recorded "
+                f"grid_2d throughput ({recorded_tps:.1f}/s)"
+            )
+            if STRICT:
+                pytest.fail(msg)
+            warnings.warn(msg + " (non-strict mode: recorded, not failed)")
+
+    # --- traced run: stage totals must account for the task time ------
+    trace_path = str(tmp_path / "trace.jsonl")
+    t0 = time.perf_counter()
+    traced_outcome = run_campaign(
+        tasks, str(tmp_path / "traced.jsonl"),
+        CampaignConfig(jobs=JOBS, trace=trace_path), meta=meta,
+    )
+    traced_wall = time.perf_counter() - t0
+    assert traced_outcome.ok == len(tasks)
+    assert not tracing.is_enabled()  # flag restored after the run
+
+    trace = load_trace(trace_path)
+    assert len(trace["tasks"]) == len(tasks)
+    totals = stage_totals(trace["tasks"])
+    staged = totals["compile_seconds"] + totals["price_seconds"]
+    # exact accounting: overhead is defined as the residual
+    assert staged + totals["overhead_seconds"] == pytest.approx(
+        totals["task_seconds"], abs=1e-6
+    )
+    # the instrumented stages dominate task wall time (spans are not
+    # silently missing the work)
+    assert staged >= STAGE_COVERAGE_FLOOR * totals["task_seconds"], (
+        f"compile+price spans cover only "
+        f"{staged / totals['task_seconds']:.0%} of task time"
+    )
+    # stage time never exceeds what the tasks measured
+    assert staged <= totals["task_seconds"] + 1e-6
+
+    record_bench(
+        "trace",
+        {
+            "seed": SEED,
+            "generated_nests": NESTS,
+            "tasks": len(tasks),
+            "jobs": JOBS,
+            "untraced_wall_seconds": round(plain_wall, 3),
+            "untraced_tasks_per_second": round(plain_tps, 2),
+            "recorded_grid2d_tasks_per_second": recorded_tps,
+            "overhead_tolerance": OVERHEAD_TOLERANCE,
+            "traced_wall_seconds": round(traced_wall, 3),
+            "traced_tasks_per_second": round(len(tasks) / traced_wall, 2),
+            "stage_totals": {
+                k: (round(v, 4) if isinstance(v, float) else v)
+                for k, v in totals.items()
+            },
+            "stage_share": {
+                "compile": round(
+                    totals["compile_seconds"] / totals["task_seconds"], 3
+                ),
+                "price": round(
+                    totals["price_seconds"] / totals["task_seconds"], 3
+                ),
+                "executor_overhead": round(
+                    totals["overhead_seconds"] / totals["task_seconds"], 3
+                ),
+            },
+        },
+        section="grid_2d",
+    )

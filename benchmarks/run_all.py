@@ -48,7 +48,14 @@ Registered subsystem gates (beyond the paper artefacts):
   executor with every fault as a typed record, then converge
   bit-identically to the unfaulted run on a ``retry_failures`` resume
   (and self-heal in-run with ``retries=2``); measurements in
-  ``BENCH_chaos.json``.
+  ``BENCH_chaos.json``;
+* ``bench_trace_overhead.py`` — the observability gate: tracing
+  disabled (the default) must cost <= 5% of the recorded ``grid_2d``
+  throughput (a disabled ``span()`` is pinned to nanoseconds), and a
+  traced run's per-stage totals (compile + price + executor overhead)
+  must sum exactly to the summed task wall time with the instrumented
+  stages covering >= 50% of it; the stage shares land in
+  ``BENCH_trace.json`` (section ``grid_2d``).
 
 ``--profile`` runs the reference scenarios (an inline campaign grid +
 the reference pricing workload) under ``cProfile`` and writes the top

@@ -40,6 +40,16 @@ with capped exponential backoff::
     python -m repro campaign run --executor resilient --retries 2 \
         --timeout 60 --jobs 4 --out runs/hardened.jsonl
 
+``--trace`` records a span/metric JSONL trace next to the results, and
+``trace report`` / ``summarize --timings`` render its per-stage time
+breakdown (compile vs price vs executor overhead, per compile-key
+group)::
+
+    python -m repro campaign run --trace runs/demo_trace.jsonl ...
+    python -m repro trace report runs/demo_trace.jsonl
+    python -m repro campaign summarize runs/demo.jsonl \
+        --timings runs/demo_trace.jsonl
+
 Malformed arguments (bad ``--mesh``, bad ``--params``, a non-positive
 ``--timeout``, a mesh rank that cannot match ``--m``) produce a
 friendly message on stderr and exit code 2.
@@ -307,6 +317,12 @@ def _campaign_parser() -> argparse.ArgumentParser:
             help="stop after K new results (checkpoint stays resumable)",
         )
         p.add_argument(
+            "--trace", default=None, metavar="OUT.jsonl",
+            help="record a span/metric trace of this run to a JSONL "
+            "file (render it with 'python -m repro trace report'); the "
+            "result store stays byte-identical to an untraced run",
+        )
+        p.add_argument(
             "--resume", action="store_true",
             help="continue from the checkpoint in --out",
         )
@@ -321,6 +337,11 @@ def _campaign_parser() -> argparse.ArgumentParser:
 
     s = sub.add_parser("summarize", help="aggregate a result file")
     s.add_argument("results", help="JSONL file written by campaign run")
+    s.add_argument(
+        "--timings", default=None, metavar="TRACE.jsonl",
+        help="also render the per-stage time breakdown from a trace "
+        "file recorded with 'campaign run --trace'",
+    )
 
     g = sub.add_parser(
         "merge",
@@ -398,6 +419,15 @@ def campaign_main(argv: List[str]) -> int:
                 file=sys.stderr,
             )
         print(format_campaign_summary(summarize_results(results.values())))
+        if args.timings:
+            import os
+
+            if not os.path.exists(args.timings):
+                raise CliError(f"no trace file at {args.timings!r}")
+            from .obs import format_trace_report, load_trace
+
+            print()
+            print(format_trace_report(load_trace(args.timings)))
         return 0
 
     resume = args.resume or args.cmd == "resume"
@@ -490,6 +520,7 @@ def campaign_main(argv: List[str]) -> int:
                 executor=args.executor,
                 retries=args.retries,
                 backoff=args.backoff,
+                trace=args.trace,
             ),
             resume=resume,
             meta=meta,
@@ -506,6 +537,43 @@ def campaign_main(argv: List[str]) -> int:
 
 
 # ---------------------------------------------------------------------------
+# trace — render span/metric traces recorded by `campaign run --trace`
+# ---------------------------------------------------------------------------
+
+
+def _trace_parser() -> argparse.ArgumentParser:
+    ap = argparse.ArgumentParser(
+        prog="python -m repro trace",
+        description="Inspect span/metric traces recorded by "
+        "'campaign run --trace OUT.jsonl'.",
+    )
+    sub = ap.add_subparsers(dest="cmd", required=True)
+    r = sub.add_parser(
+        "report",
+        help="per-stage time breakdown (compile vs price vs executor "
+        "overhead, per compile-key group) + span/metric tables",
+    )
+    r.add_argument("trace", help="JSONL trace file")
+    return ap
+
+
+def trace_main(argv: List[str]) -> int:
+    args = _trace_parser().parse_args(argv)
+    import os
+
+    if not os.path.exists(args.trace):
+        raise CliError(f"no trace file at {args.trace!r}")
+
+    from .obs import format_trace_report, load_trace
+
+    trace = load_trace(args.trace)
+    if not (trace["tasks"] or trace["spans"] or trace["meta"]):
+        raise CliError(f"no trace records in {args.trace!r}")
+    print(format_trace_report(trace))
+    return 0
+
+
+# ---------------------------------------------------------------------------
 # dispatch
 # ---------------------------------------------------------------------------
 
@@ -515,6 +583,8 @@ def main(argv: Optional[List[str]] = None) -> int:
     try:
         if argv and argv[0] == "campaign":
             return campaign_main(argv[1:])
+        if argv and argv[0] == "trace":
+            return trace_main(argv[1:])
         if argv and argv[0] == "map":
             argv = argv[1:]
         return map_main(argv)

@@ -26,6 +26,7 @@ from typing import Dict, List, Optional, Set, Tuple
 
 from ..ir import AccessKind, LoopNest
 from ..linalg import FracMat, IntMat, full_rank, left_kernel_basis
+from ..obs import span
 from .access_graph import (
     AccessGraph,
     AccessRef,
@@ -208,20 +209,22 @@ def align(
         When False, every edge gets integer weight 1 instead of the rank
         of its access matrix (the A1 ablation).
     """
-    ag = build_access_graph(nest, m)
+    with span("align.graph"):
+        ag = build_access_graph(nest, m)
     g = ag.graph
-    if not use_rank_weights:
-        flat = Digraph()
-        for n in g.nodes:
-            flat.add_node(n)
-        id_map = {}
-        for e in g.edges():
-            ne = flat.add_edge(e.src, e.dst, 1, payload=e.payload)
-            id_map[ne.id] = e.id
-        chosen_flat = maximum_branching(flat)
-        chosen = {id_map[i] for i in chosen_flat}
-    else:
-        chosen = maximum_branching(g)
+    with span("align.branching"):
+        if not use_rank_weights:
+            flat = Digraph()
+            for n in g.nodes:
+                flat.add_node(n)
+            id_map = {}
+            for e in g.edges():
+                ne = flat.add_edge(e.src, e.dst, 1, payload=e.payload)
+                id_map[ne.id] = e.id
+            chosen_flat = maximum_branching(flat)
+            chosen = {id_map[i] for i in chosen_flat}
+        else:
+            chosen = maximum_branching(g)
 
     components = connected_components(g, chosen)
     roots = branching_roots(g, chosen)

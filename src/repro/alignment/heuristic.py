@@ -48,6 +48,7 @@ from ..macrocomm import (
     detect_reduction,
     detect_scatter,
 )
+from ..obs import span, traced
 from .allocation import Alignment, ResidualComm, align
 from .access_graph import stmt_node, var_node
 
@@ -168,6 +169,7 @@ def _joint_axis_rotation(dirs: List[IntMat]) -> Optional[IntMat]:
     return None
 
 
+@traced("align.step2")
 def optimize_residuals(
     alignment: Alignment,
     schedules: ScheduledNest,
@@ -348,11 +350,12 @@ def two_step_heuristic(
     if schedules is None:
         schedules = trivial_schedules(nest)
     schedules.validate_shapes()
-    alignment = align(
-        nest,
-        m,
-        root_allocations=root_allocations,
-        use_rank_weights=use_rank_weights,
-        schedules=schedules,
-    )
+    with span("align.step1"):
+        alignment = align(
+            nest,
+            m,
+            root_allocations=root_allocations,
+            use_rank_weights=use_rank_weights,
+            schedules=schedules,
+        )
     return optimize_residuals(alignment, schedules)

@@ -27,6 +27,8 @@ from abc import ABC, abstractmethod
 from dataclasses import dataclass
 from typing import Callable, Dict, Iterator, List, Optional, Sequence, Type
 
+from ...obs import metrics as obs_metrics
+from ...obs import tracing as obs_tracing
 from .. import faults
 from ..runner import execute_task, set_compile_cache_size
 from ..store import TaskResult
@@ -56,6 +58,10 @@ class ExecutorConfig:
     compile_cache_size: Optional[int] = None
     #: raw ``REPRO_FAULT_INJECT`` spec (None = injection off)
     fault_spec: Optional[str] = None
+    #: the parent's tracing flag, passed through to workers the same
+    #: way the cache size is (spawn workers re-import ``repro.obs``
+    #: with tracing off; fork workers inherit but stay consistent)
+    trace: bool = False
 
 
 class Executor(ABC):
@@ -102,15 +108,20 @@ def backoff_delay(base: float, retry: int, cap: float = BACKOFF_CAP) -> float:
 def init_worker(
     config: ExecutorConfig, allow_kill: bool, allow_hang: bool
 ) -> None:
-    """Prepare a worker process: explicit cache size + fault plan.
+    """Prepare a worker process: explicit cache size, tracing flag and
+    fault plan.
 
     Called in every worker entry point (and by the inline backend with
-    both capabilities off).  Passing the cache size through the call
-    rather than relying on fork-inherited globals is what keeps
-    spawn-context workers honouring configuration set after import.
+    both capabilities off).  Passing the cache size and the tracing
+    enablement through the call rather than relying on fork-inherited
+    globals is what keeps spawn-context workers honouring configuration
+    set after import (a spawn worker re-imports ``repro.obs`` with
+    tracing at its env default, which would silently drop every span of
+    a ``--trace`` run).
     """
     if config.compile_cache_size is not None:
         set_compile_cache_size(config.compile_cache_size)
+    obs_tracing.set_enabled(config.trace)
     faults.activate(
         config.fault_spec, allow_kill=allow_kill, allow_hang=allow_hang
     )
@@ -144,6 +155,7 @@ def run_task_with_retries(
         ):
             return result
         attempt += 1
+        obs_metrics.counter("campaign.executor.retries").inc()
         delay = backoff_delay(config.backoff, attempt - first_attempt)
         if delay > 0:
             sleep(delay)

@@ -30,6 +30,7 @@ import concurrent.futures as cf
 from collections import deque
 from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
+from ...obs import metrics as obs_metrics
 from ..runner import crashed_result
 from ..store import TaskResult
 from ..sweep import SweepTask
@@ -107,6 +108,9 @@ class PoolExecutor(Executor):
                         if not futures:
                             pool.shutdown(wait=False, cancel_futures=True)
                             pool = None
+                            obs_metrics.counter(
+                                "campaign.executor.pool.rebuilds"
+                            ).inc()
                             continue
                         # any futures submitted before the break will
                         # surface as BrokenExecutor below and requeue
@@ -136,6 +140,7 @@ class PoolExecutor(Executor):
                 futures.clear()
                 pool.shutdown(wait=False, cancel_futures=True)
                 pool = None
+                obs_metrics.counter("campaign.executor.pool.rebuilds").inc()
                 if isolated:
                     gid, group, first_attempt = voided[0]
                     strikes[gid] = strikes.get(gid, 0) + 1
@@ -160,6 +165,9 @@ class PoolExecutor(Executor):
                     # cannot tell which group killed the worker: run all
                     # of them isolated; innocents complete, the culprit
                     # breaks again — alone, and is then attributed
+                    obs_metrics.counter(
+                        "campaign.executor.pool.quarantined"
+                    ).inc(len(voided))
                     quarantine.extend(voided)
         finally:
             if pool is not None:

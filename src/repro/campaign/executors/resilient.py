@@ -39,6 +39,7 @@ from collections import deque
 from multiprocessing.connection import wait as conn_wait
 from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
+from ...obs import metrics as obs_metrics
 from ..runner import _failure_result, crashed_result
 from ..store import TaskResult
 from ..sweep import SweepTask
@@ -157,6 +158,7 @@ class ResilientExecutor(Executor):
             )
             proc.start()
             child_conn.close()
+            obs_metrics.counter("campaign.executor.resilient.spawns").inc()
             return _Child(proc, parent_conn, tasks, fa, spawns=spawns)
 
         try:
@@ -254,11 +256,17 @@ class ResilientExecutor(Executor):
                     f"hang detected: no completion within {cfg.timeout}s "
                     "(+grace) — worker killed by supervisor"
                 )
+                obs_metrics.counter(
+                    "campaign.executor.resilient.hang_kills"
+                ).inc()
             elif now - child.last_msg > cfg.heartbeat_timeout:
                 child.kill_reason = (
                     f"worker heartbeat lost for {cfg.heartbeat_timeout}s "
                     "— worker killed by supervisor"
                 )
+                obs_metrics.counter(
+                    "campaign.executor.resilient.heartbeat_losses"
+                ).inc()
             if child.kill_reason is None:
                 return
             child.proc.kill()
@@ -276,6 +284,10 @@ class ResilientExecutor(Executor):
             return
         children.remove(child)
         child.conn.close()
+        if child.kill_reason is None:
+            obs_metrics.counter(
+                "campaign.executor.resilient.worker_deaths"
+            ).inc()
 
         remaining = list(child.tasks)
         retry_fa = dict(child.first_attempts)

@@ -55,6 +55,16 @@ from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from .._config import env_int
+from ..obs import (
+    TraceWriter,
+    capture,
+    freeze_capture,
+    merge_spans,
+    span,
+    span_snapshot,
+)
+from ..obs import metrics as obs_metrics
+from ..obs import tracing as obs_tracing
 from . import faults
 from .store import RunStore, TaskResult
 from .sweep import SweepTask, group_by_compile_key, order_groups_for_dispatch
@@ -100,8 +110,10 @@ class _CompiledWorkload:
 #: empty) copy and populate their own
 _compile_cache: "OrderedDict[str, _CompiledWorkload]" = OrderedDict()
 _compile_cache_size: int = env_int("REPRO_CAMPAIGN_COMPILE_CACHE", 32)
-_compile_hits: int = 0
-_compile_misses: int = 0
+#: hit/miss counts live in the obs metrics registry so one
+#: ``obs.snapshot()`` covers this cache next to the linalg/route caches
+_compile_hits = obs_metrics.counter("campaign.compile_cache.hits")
+_compile_misses = obs_metrics.counter("campaign.compile_cache.misses")
 
 
 def set_compile_cache_size(size: int) -> int:
@@ -121,56 +133,59 @@ def set_compile_cache_size(size: int) -> int:
 def compile_cache_stats() -> Dict[str, int]:
     """Hit/miss counters of *this* process's compile cache."""
     return {
-        "hits": _compile_hits,
-        "misses": _compile_misses,
+        "hits": _compile_hits.value,
+        "misses": _compile_misses.value,
         "size": len(_compile_cache),
         "maxsize": _compile_cache_size,
     }
 
 
 def clear_compile_cache() -> None:
-    global _compile_hits, _compile_misses
     _compile_cache.clear()
-    _compile_hits = 0
-    _compile_misses = 0
+    _compile_hits.reset()
+    _compile_misses.reset()
+
+
+obs_metrics.register_provider("campaign.compile_cache", compile_cache_stats)
 
 
 def _compile_for_task(task: SweepTask) -> Tuple[_CompiledWorkload, bool]:
     """The compile stage: two-step heuristic + Feautrier baseline for
     the task's ``(workload, m, rank_weights)``, LRU-cached per worker.
     Returns ``(compiled, cache_hit)``."""
-    global _compile_hits, _compile_misses
     key = task.compile_key
     if _compile_cache_size > 0:
         cached = _compile_cache.get(key)
         if cached is not None:
             _compile_cache.move_to_end(key)
-            _compile_hits += 1
+            _compile_hits.inc()
             return cached, True
-    _compile_misses += 1
+    _compile_misses.inc()
 
     from ..alignment import optimize_residuals
     from ..baselines import feautrier_align
     from ..driver import compile_nest
 
-    wl = task.workload
-    nest = wl.resolve()
-    schedules = wl.resolve_schedules(nest)
-    params = dict(wl.params)
-    compiled = compile_nest(
-        nest,
-        m=task.m,
-        schedules=schedules,
-        params=params,
-        check_legality=wl.check_legality,
-        name=wl.name,
-        use_rank_weights=task.rank_weights,
-    )
-    baseline = optimize_residuals(
-        feautrier_align(nest, task.m),
-        compiled.schedules,
-        allow_rotations=False,
-    )
+    with span("compile"):
+        wl = task.workload
+        nest = wl.resolve()
+        schedules = wl.resolve_schedules(nest)
+        params = dict(wl.params)
+        compiled = compile_nest(
+            nest,
+            m=task.m,
+            schedules=schedules,
+            params=params,
+            check_legality=wl.check_legality,
+            name=wl.name,
+            use_rank_weights=task.rank_weights,
+        )
+        with span("baseline"):
+            baseline = optimize_residuals(
+                feautrier_align(nest, task.m),
+                compiled.schedules,
+                allow_rotations=False,
+            )
     cw = _CompiledWorkload(compiled=compiled, baseline=baseline, params=params)
     if _compile_cache_size > 0:
         _compile_cache[key] = cw
@@ -185,18 +200,22 @@ def _price_task(task: SweepTask, cw: _CompiledWorkload) -> TaskResult:
     from ..machine import machine_spec
     from ..runtime import MappedProgram, execute
 
-    spec = machine_spec(task.machine)
-    machine = spec.make(task.mesh)
-    collectives = spec.make_collectives(task.mesh)
-    program = cw.compiled.program(machine, cw.params)
-    report = execute(program, machine, collectives=collectives)
+    with span("price"):
+        spec = machine_spec(task.machine)
+        machine = spec.make(task.mesh)
+        collectives = spec.make_collectives(task.mesh)
+        program = cw.compiled.program(machine, cw.params)
+        report = execute(program, machine, collectives=collectives)
 
-    # same folding as the heuristic's program, so the two prices share
-    # the driver's folding policy by construction
-    base_program = MappedProgram(
-        mapping=cw.baseline, folding=program.folding, params=cw.params
-    )
-    base_report = execute(base_program, machine, collectives=collectives)
+        # same folding as the heuristic's program, so the two prices
+        # share the driver's folding policy by construction
+        base_program = MappedProgram(
+            mapping=cw.baseline, folding=program.folding, params=cw.params
+        )
+        with span("baseline"):
+            base_report = execute(
+                base_program, machine, collectives=collectives
+            )
 
     return TaskResult(
         task_id=task.task_id,
@@ -247,12 +266,27 @@ def execute_task(
     raise cryptically or silently disarm the alarm); ``attempt`` is the
     1-based retry counter threaded through to fault injection and the
     recorded ``TaskResult.attempts``.
+
+    While tracing is enabled the spans recorded during this task are
+    captured into ``TaskResult.trace`` (the worker's span tree travels
+    back through the result pipe; see :mod:`repro.obs.tracing`).
     """
     if timeout is not None and timeout <= 0:
         raise ValueError(
             f"timeout must be positive, got {timeout!r} (omit it for "
             "no per-task cap)"
         )
+    if obs_tracing.is_enabled():
+        with capture() as buf:
+            result = _execute_task_timed(task, timeout, attempt)
+        result.trace = freeze_capture(buf)
+        return result
+    return _execute_task_timed(task, timeout, attempt)
+
+
+def _execute_task_timed(
+    task: SweepTask, timeout: Optional[float], attempt: int
+) -> TaskResult:
     t0 = time.perf_counter()
     use_alarm = timeout is not None and hasattr(signal, "SIGALRM")
     old_handler = None
@@ -375,6 +409,10 @@ class CampaignConfig:
     #: force fsync-per-append on the result store (None = env knob
     #: ``REPRO_STORE_FSYNC``)
     fsync: Optional[bool] = None
+    #: write a span/metric JSONL trace of this run to the given path
+    #: (enables tracing for the duration of the run — including in the
+    #: executor's worker processes — and restores the flag afterwards)
+    trace: Optional[str] = None
 
 
 @dataclass
@@ -505,10 +543,28 @@ def run_campaign(
     ran = ok = errors = timeouts = crashed = retried = 0
     cache_hits = cache_misses = 0
 
+    # --trace: enable tracing for the duration of this run (restored in
+    # the finally below), open the JSONL writer and remember each task's
+    # compile key so trace records carry their group identity
+    trace_writer: Optional[TraceWriter] = None
+    prev_trace_flag: Optional[bool] = None
+    compile_keys: Dict[str, str] = {}
+    if config.trace:
+        prev_trace_flag = obs_tracing.set_enabled(True)
+        obs_tracing.clear_spans()
+        compile_keys = {t.task_id: t.compile_key for t in capped}
+        trace_writer = TraceWriter(config.trace)
+
+    status_counters = {
+        s: obs_metrics.counter(f"campaign.tasks.{s}")
+        for s in ("ok", "error", "timeout", "crashed")
+    }
+
     def record(result: TaskResult) -> None:
         nonlocal ran, ok, errors, timeouts, crashed, retried
         nonlocal cache_hits, cache_misses
-        store.append(result)
+        with span("store.append"):
+            store.append(result)
         ran += 1
         if result.status == "ok":
             ok += 1
@@ -518,11 +574,22 @@ def run_campaign(
             crashed += 1
         else:
             errors += 1
+        status_counters.get(
+            result.status, status_counters["error"]
+        ).inc()
         retried += max(0, result.attempts - 1)
         if result.compile_cache_hit is True:
             cache_hits += 1
         elif result.compile_cache_hit is False:
             cache_misses += 1
+        if trace_writer is not None:
+            # fold the worker's span tree into the campaign aggregate
+            # and stream the per-task record (flushed immediately: a
+            # killed run loses at most the in-flight task's trace)
+            merge_spans(result.trace)
+            trace_writer.write_task(
+                result, compile_keys.get(result.task_id)
+            )
         if progress is not None:
             progress(result)
 
@@ -551,11 +618,31 @@ def run_campaign(
             mp_context=config.mp_context,
             compile_cache_size=_compile_cache_size,
             fault_spec=faults.active_spec(),
+            trace=obs_tracing.is_enabled(),
         ),
     )
-    for batch in backend.run(groups):
-        for result in batch:
-            record(result)
+    try:
+        if trace_writer is not None:
+            trace_writer.write_meta(
+                {
+                    "spec_digest": meta.get("spec_digest"),
+                    "executor": name,
+                    "jobs": config.jobs,
+                    "tasks": len(capped),
+                    "groups": len(groups),
+                }
+            )
+        for batch in backend.run(groups):
+            for result in batch:
+                record(result)
+    finally:
+        if trace_writer is not None:
+            trace_writer.write_summary(
+                span_snapshot(), obs_metrics.snapshot()
+            )
+            trace_writer.close()
+        if prev_trace_flag is not None:
+            obs_tracing.set_enabled(prev_trace_flag)
 
     return CampaignOutcome(
         path=out_path,

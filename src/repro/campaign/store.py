@@ -71,6 +71,12 @@ class TaskResult:
     #: the JSONL record (compile-once/price-many must leave the stored
     #: records byte-identical to a recompile-every-cell run)
     compile_cache_hit: Optional[bool] = field(default=None, compare=False)
+    #: per-task span tree (``{path: {"count", "seconds"}}``) captured by
+    #: the worker while tracing is enabled — in-memory telemetry shipped
+    #: back through the result pipe and written to the ``--trace`` JSONL
+    #: file, *never* to the result store (traces must leave the stored
+    #: records byte-identical to an untraced run)
+    trace: Optional[Dict] = field(default=None, compare=False)
 
     def deterministic_dict(self) -> Dict:
         """The payload minus wall-clock timing and attempt counts (the
@@ -86,6 +92,7 @@ class TaskResult:
         d["record"] = "result"
         d["mesh"] = list(self.mesh)
         d.pop("compile_cache_hit", None)
+        d.pop("trace", None)
         # default-valued taxonomy fields are omitted so records of a
         # fault-free campaign stay byte-identical to the historical
         # format (golden-tested)

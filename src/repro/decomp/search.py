@@ -16,6 +16,7 @@ from __future__ import annotations
 from typing import Dict, List, Optional, Tuple
 
 from ..linalg import IntMat
+from ..obs import traced
 from .elementary import L, U
 
 
@@ -32,6 +33,7 @@ def _neighbours(coeff_bound: int, last_kind: Optional[str]):
     return out
 
 
+@traced("decomp.search")
 def shortest_decomposition(
     t: IntMat, max_len: int = 6, coeff_bound: int = 8
 ) -> Optional[List[IntMat]]:

@@ -21,6 +21,7 @@ from .ir import (
     schedule_is_legal,
 )
 from .machine import MachineModel
+from .obs import span
 from .runtime import CommReport, Folding, MappedProgram, execute, execute_python
 
 
@@ -103,23 +104,35 @@ def compile_nest(
         Validate the (given or inferred) schedule against the bounded
         dependence enumeration and raise ``ValueError`` on conflicts.
     """
-    nest = parse_nest(source, name=name) if isinstance(source, str) else source
+    with span("parse"):
+        nest = (
+            parse_nest(source, name=name) if isinstance(source, str) else source
+        )
     bounds = params or {p: 3 for p in _collect_params(nest)}
     if schedules is None:
-        schedules = infer_schedules(nest, bounds)
-    if check_legality and not schedule_is_legal(schedules, bounds):
-        raise ValueError(
-            "schedule is illegal: dependent instances share a time step "
-            "(see repro.ir.schedule_violations for witnesses)"
+        with span("schedule.infer"):
+            schedules = infer_schedules(nest, bounds)
+    if check_legality:
+        with span("schedule.legality"):
+            legal = schedule_is_legal(schedules, bounds)
+        if not legal:
+            raise ValueError(
+                "schedule is illegal: dependent instances share a time step "
+                "(see repro.ir.schedule_violations for witnesses)"
+            )
+    with span("align"):
+        mapping = two_step_heuristic(
+            nest, m=m, schedules=schedules, **heuristic_kw
         )
-    mapping = two_step_heuristic(nest, m=m, schedules=schedules, **heuristic_kw)
     from .codegen import generate_spmd
 
+    with span("codegen"):
+        spmd = generate_spmd(mapping)
     return CompiledNest(
         nest=nest,
         schedules=schedules,
         mapping=mapping,
-        spmd=generate_spmd(mapping),
+        spmd=spmd,
     )
 
 

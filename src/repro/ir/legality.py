@@ -42,6 +42,7 @@ from typing import Dict, List, Sequence, Tuple
 
 import numpy as np
 
+from ..obs import traced
 from .access import AccessKind
 from .loopnest import LoopNest
 from .schedule import ScheduledNest
@@ -218,6 +219,7 @@ def _vector_safe(points: np.ndarray, *mats) -> bool:
     return True
 
 
+@traced("legality.violations")
 def schedule_violations(
     scheduled: ScheduledNest, params: Dict[str, int], limit: int = 10
 ) -> List[str]:

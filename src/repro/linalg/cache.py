@@ -34,6 +34,8 @@ from functools import wraps
 from typing import Callable, Dict, Optional
 
 from .._config import env_int
+from ..obs.metrics import counter as _obs_counter
+from ..obs.metrics import register_provider as _register_provider
 
 DEFAULT_LINALG_CACHE_SIZE = env_int("REPRO_LINALG_CACHE_SIZE", 1024)
 
@@ -41,9 +43,15 @@ _MISSING = object()
 
 
 class NormalFormCache:
-    """A small LRU cache with hit/miss accounting."""
+    """A small LRU cache with hit/miss accounting.
 
-    __slots__ = ("name", "maxsize", "hits", "misses", "_data")
+    Hit/miss counts live in the observability metrics registry
+    (:mod:`repro.obs.metrics`) under ``linalg.cache.<name>.{hits,misses}``
+    so one ``obs.snapshot()`` sees every cache; ``.hits`` / ``.misses``
+    remain plain-int properties for existing callers and tests.
+    """
+
+    __slots__ = ("name", "maxsize", "_hits", "_misses", "_data")
 
     def __init__(self, name: str, maxsize: Optional[int] = None):
         self.name = name
@@ -52,17 +60,28 @@ class NormalFormCache:
         )
         if self.maxsize <= 0:
             raise ValueError("cache size must be positive")
-        self.hits = 0
-        self.misses = 0
+        self._hits = _obs_counter(f"linalg.cache.{self.name}.hits")
+        self._misses = _obs_counter(f"linalg.cache.{self.name}.misses")
+        # a (re)created cache starts empty, so its counters restart too
+        self._hits.reset()
+        self._misses.reset()
         self._data: OrderedDict = OrderedDict()
+
+    @property
+    def hits(self) -> int:
+        return self._hits.value
+
+    @property
+    def misses(self) -> int:
+        return self._misses.value
 
     def get(self, key):
         """Cached value for ``key`` or the ``_MISSING`` sentinel."""
         value = self._data.get(key, _MISSING)
         if value is _MISSING:
-            self.misses += 1
+            self._misses.inc()
         else:
-            self.hits += 1
+            self._hits.inc()
             self._data.move_to_end(key)
         return value
 
@@ -74,8 +93,8 @@ class NormalFormCache:
 
     def clear(self) -> None:
         self._data.clear()
-        self.hits = 0
-        self.misses = 0
+        self._hits.reset()
+        self._misses.reset()
 
     def __len__(self) -> int:
         return len(self._data)
@@ -142,3 +161,7 @@ def clear_caches() -> None:
     """Empty every registered cache and reset its counters."""
     for cache in _REGISTRY.values():
         cache.clear()
+
+
+# full stats (size/maxsize included) ride along in obs snapshots
+_register_provider("linalg.cache", cache_stats)

@@ -50,24 +50,42 @@ from typing import Dict, Optional, Tuple
 import numpy as np
 
 from .._config import env_int
+from ..obs.metrics import Counter as _Counter
+from ..obs.metrics import register_provider as _register_provider
 
 DEFAULT_ROUTE_CACHE_SIZE = env_int("REPRO_ROUTE_CACHE_SIZE", 65536)
 DEFAULT_MESH_CACHES = env_int("REPRO_ROUTE_CACHE_MESHES", 8)
 
 
 class _BaseRouteCache:
-    """Shared LRU machinery; subclasses supply ``_build`` and link ids."""
+    """Shared LRU machinery; subclasses supply ``_build`` and link ids.
 
-    __slots__ = ("mesh", "maxsize", "hits", "misses", "_routes")
+    Hit/miss accounting uses per-instance observability counters
+    (:class:`repro.obs.metrics.Counter`); caches are per-mesh objects
+    that tests construct freshly, so the counters are instance-local
+    and the module-level registry is exported to metric snapshots
+    through a provider (``machine.routecache``) instead of global
+    counter names.
+    """
+
+    __slots__ = ("mesh", "maxsize", "_hits", "_misses", "_routes")
 
     def __init__(self, mesh, maxsize: Optional[int] = None):
         self.mesh = mesh
         self.maxsize = DEFAULT_ROUTE_CACHE_SIZE if maxsize is None else int(maxsize)
         if self.maxsize <= 0:
             raise ValueError("route cache size must be positive")
-        self.hits = 0
-        self.misses = 0
+        self._hits = _Counter("machine.routecache.hits")
+        self._misses = _Counter("machine.routecache.misses")
         self._routes: "OrderedDict[Tuple, np.ndarray]" = OrderedDict()
+
+    @property
+    def hits(self) -> int:
+        return self._hits.value
+
+    @property
+    def misses(self) -> int:
+        return self._misses.value
 
     def link_ids(self, src, dst) -> np.ndarray:
         """Read-only int64 array of link ids along the route; empty for
@@ -76,10 +94,10 @@ class _BaseRouteCache:
         routes = self._routes
         ids = routes.get(key)
         if ids is not None:
-            self.hits += 1
+            self._hits.inc()
             routes.move_to_end(key)
             return ids
-        self.misses += 1
+        self._misses.inc()
         ids = self._build(src, dst)
         ids.flags.writeable = False
         routes[key] = ids
@@ -95,8 +113,8 @@ class _BaseRouteCache:
 
     def clear(self) -> None:
         self._routes.clear()
-        self.hits = 0
-        self.misses = 0
+        self._hits.reset()
+        self._misses.reset()
 
     def stats(self) -> Dict[str, int]:
         return {
@@ -353,3 +371,7 @@ def clear_route_caches() -> None:
 def route_cache_stats() -> Dict[str, Dict[str, int]]:
     """Stats of all live registry caches, keyed by mesh repr."""
     return {repr(mesh): cache.stats() for mesh, cache in _MESH_CACHES.items()}
+
+
+# live registry stats ride along in obs snapshots
+_register_provider("machine.routecache", route_cache_stats)

@@ -38,6 +38,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from ..machine import CM5Model, MachineModel, Message
+from ..obs import span, traced
 from .mapping import CommBatch, CommEvent, MappedProgram
 
 
@@ -101,6 +102,7 @@ def _vectorizable(program: MappedProgram, label: str) -> bool:
         return False
 
 
+@traced("exec.phase")
 def _price_phase(
     program: MappedProgram,
     machine: MachineModel,
@@ -164,7 +166,8 @@ def execute(
     per-event reference implementation is :func:`execute_python`
     (bit-identical).
     """
-    batches = program.comm_batches()
+    with span("exec.extract"):
+        batches = program.comm_batches()
     rank = program.folding.rank
     per_access: Dict[str, AccessCommStats] = {}
     # per label: (time rows, sender|receiver pair rows) of the events
