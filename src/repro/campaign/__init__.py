@@ -37,12 +37,18 @@ from .runner import (
     CampaignConfig,
     CampaignOutcome,
     CampaignSpecMismatch,
+    baseline_cache_stats,
+    clear_baseline_cache,
     clear_compile_cache,
     compile_cache_stats,
     crashed_result,
     execute_task,
+    group_pricing_allowed,
+    price_group_batched,
     run_campaign,
+    set_baseline_cache_size,
     set_compile_cache_size,
+    set_group_pricing,
 )
 from .store import (
     ERROR_KINDS,
@@ -94,6 +100,12 @@ __all__ = [
     "clear_compile_cache",
     "compile_cache_stats",
     "set_compile_cache_size",
+    "clear_baseline_cache",
+    "baseline_cache_stats",
+    "set_baseline_cache_size",
+    "group_pricing_allowed",
+    "price_group_batched",
+    "set_group_pricing",
     "Executor",
     "ExecutorConfig",
     "executor_names",

@@ -30,6 +30,7 @@ from .base import (
     RETRYABLE_KINDS,
     backoff_delay,
     executor_names,
+    init_worker,
     make_executor,
     register_executor,
     run_group,
@@ -48,6 +49,7 @@ __all__ = [
     "RETRYABLE_KINDS",
     "backoff_delay",
     "executor_names",
+    "init_worker",
     "make_executor",
     "register_executor",
     "run_group",

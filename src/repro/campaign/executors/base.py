@@ -30,7 +30,13 @@ from typing import Callable, Dict, Iterator, List, Optional, Sequence, Type
 from ...obs import metrics as obs_metrics
 from ...obs import tracing as obs_tracing
 from .. import faults
-from ..runner import execute_task, set_compile_cache_size
+from ..runner import (
+    execute_task,
+    group_pricing_allowed,
+    price_group_batched,
+    set_baseline_cache_size,
+    set_compile_cache_size,
+)
 from ..store import TaskResult
 from ..sweep import SweepTask
 
@@ -56,6 +62,12 @@ class ExecutorConfig:
     mp_context: Optional[str] = None
     #: the parent's compile-cache size, passed through to workers
     compile_cache_size: Optional[int] = None
+    #: the parent's baseline-price-cache size, passed through the same
+    #: way (spawn workers would otherwise reset to the env default)
+    baseline_cache_size: Optional[int] = None
+    #: the parent's array backend name (``repro.machine.backend``);
+    #: None leaves the worker's own resolution untouched
+    price_backend: Optional[str] = None
     #: raw ``REPRO_FAULT_INJECT`` spec (None = injection off)
     fault_spec: Optional[str] = None
     #: the parent's tracing flag, passed through to workers the same
@@ -121,6 +133,12 @@ def init_worker(
     """
     if config.compile_cache_size is not None:
         set_compile_cache_size(config.compile_cache_size)
+    if config.baseline_cache_size is not None:
+        set_baseline_cache_size(config.baseline_cache_size)
+    if config.price_backend is not None:
+        from ...machine.backend import set_price_backend
+
+        set_price_backend(config.price_backend)
     obs_tracing.set_enabled(config.trace)
     faults.activate(
         config.fault_spec, allow_kill=allow_kill, allow_hang=allow_hang
@@ -168,8 +186,18 @@ def run_group(
 ) -> List[TaskResult]:
     """Sequentially run one compile-key group with per-task retries
     (the in-worker half of every backend; the first task pays the
-    compile, the rest hit the worker's cache)."""
+    compile, the rest hit the worker's cache).
+
+    Fresh groups take the batched whole-group pricing path when the
+    runner's gates allow it (bit-identical results; see
+    :func:`repro.campaign.runner.price_group_batched`); groups with
+    resumed attempt counts — a crashed worker's second life — keep the
+    per-task loop so retry bookkeeping stays exact."""
     first_attempts = first_attempts or {}
+    if not first_attempts and group_pricing_allowed(group, config.timeout):
+        results = price_group_batched(group)
+        if results is not None:
+            return results
     return [
         run_task_with_retries(
             task, config, first_attempt=first_attempts.get(task.task_id, 1)

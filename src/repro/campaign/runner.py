@@ -47,6 +47,7 @@ Per-task failures never abort the campaign: exceptions become
 
 from __future__ import annotations
 
+import hashlib
 import signal
 import time
 import traceback
@@ -54,7 +55,7 @@ from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
-from .._config import env_int
+from .._config import env_flag, env_int
 from ..obs import (
     TraceWriter,
     capture,
@@ -67,7 +68,12 @@ from ..obs import metrics as obs_metrics
 from ..obs import tracing as obs_tracing
 from . import faults
 from .store import RunStore, TaskResult
-from .sweep import SweepTask, group_by_compile_key, order_groups_for_dispatch
+from .sweep import (
+    SweepTask,
+    canonical_json,
+    group_by_compile_key,
+    order_groups_for_dispatch,
+)
 
 
 class CampaignSpecMismatch(RuntimeError):
@@ -194,9 +200,107 @@ def _compile_for_task(task: SweepTask) -> Tuple[_CompiledWorkload, bool]:
     return cw, False
 
 
+# ---------------------------------------------------------------------------
+# baseline price memo — per-worker LRU over (workload, m, machine, mesh)
+# ---------------------------------------------------------------------------
+#
+# The Feautrier baseline mapping depends only on (workload, m) and the
+# folding only on the mesh — the heuristic's rank-weights knob never
+# enters — so its price is one float per (workload, m, machine, mesh)
+# cell.  A grid that sweeps rank_weights (or any future heuristic knob)
+# re-prices the identical baseline once per knob value; this LRU
+# collapses those to one execute() per cell and per worker process.
+
+_baseline_cache: "OrderedDict[str, float]" = OrderedDict()
+_baseline_cache_size: int = env_int("REPRO_CAMPAIGN_BASELINE_CACHE", 512)
+_baseline_hits = obs_metrics.counter("campaign.baseline_cache.hits")
+_baseline_misses = obs_metrics.counter("campaign.baseline_cache.misses")
+
+
+def set_baseline_cache_size(size: int) -> int:
+    """Resize (``0`` disables) the per-worker baseline price cache;
+    returns the previous size.  Affects the current process only — the
+    campaign runner threads the parent's setting through executor
+    worker init (see :class:`~repro.campaign.executors.ExecutorConfig`)."""
+    global _baseline_cache_size
+    prev = _baseline_cache_size
+    _baseline_cache_size = size
+    if size <= 0:
+        _baseline_cache.clear()
+    while len(_baseline_cache) > max(size, 0):
+        _baseline_cache.popitem(last=False)
+    return prev
+
+
+def baseline_cache_stats() -> Dict[str, int]:
+    """Hit/miss counters of *this* process's baseline price cache."""
+    return {
+        "hits": _baseline_hits.value,
+        "misses": _baseline_misses.value,
+        "size": len(_baseline_cache),
+        "maxsize": _baseline_cache_size,
+    }
+
+
+def clear_baseline_cache() -> None:
+    _baseline_cache.clear()
+    _baseline_hits.reset()
+    _baseline_misses.reset()
+
+
+obs_metrics.register_provider("campaign.baseline_cache", baseline_cache_stats)
+
+
+def _baseline_price_key(task: SweepTask) -> str:
+    """Digest of everything the baseline *price* depends on: the cell
+    minus the heuristic knobs (``rank_weights`` deliberately absent —
+    the baseline mapping and the folding never see it)."""
+    spec = {
+        "workload": task.workload.to_dict(),
+        "m": task.m,
+        "machine": task.machine,
+        "mesh": list(task.mesh),
+    }
+    return hashlib.sha1(canonical_json(spec).encode()).hexdigest()[:16]
+
+
+def _baseline_lookup(key: str) -> Tuple[Optional[float], bool]:
+    """``(price, hit)`` — a disabled cache always misses (mirroring the
+    compile LRU's counter semantics)."""
+    if _baseline_cache_size > 0:
+        cached = _baseline_cache.get(key)
+        if cached is not None:
+            _baseline_cache.move_to_end(key)
+            _baseline_hits.inc()
+            return cached, True
+    _baseline_misses.inc()
+    return None, False
+
+
+def _baseline_store(key: str, price: float) -> None:
+    if _baseline_cache_size > 0:
+        _baseline_cache[key] = price
+        while len(_baseline_cache) > _baseline_cache_size:
+            _baseline_cache.popitem(last=False)
+
+
+def _price_backend_name() -> str:
+    """The parent's resolved array backend, threaded through executor
+    worker init so spawn-context workers honour ``set_price_backend``
+    calls made after import (the env knob alone would be lost)."""
+    from ..machine.backend import price_backend
+
+    return price_backend()
+
+
 def _price_task(task: SweepTask, cw: _CompiledWorkload) -> TaskResult:
     """The price stage: fold the compiled nest onto the task's machine x
-    mesh cell and cost both mappings."""
+    mesh cell and cost both mappings.
+
+    The two halves get their own sub-spans (``price.heuristic`` /
+    ``price.baseline``) so trace reports attribute them directly; the
+    baseline half is served from the per-worker price memo when the
+    same (workload, m, machine, mesh) cell was costed before."""
     from ..machine import machine_spec
     from ..runtime import MappedProgram, execute
 
@@ -204,20 +308,26 @@ def _price_task(task: SweepTask, cw: _CompiledWorkload) -> TaskResult:
         spec = machine_spec(task.machine)
         machine = spec.make(task.mesh)
         collectives = spec.make_collectives(task.mesh)
-        program = cw.compiled.program(machine, cw.params)
-        report = execute(program, machine, collectives=collectives)
+        with span("price.heuristic"):
+            program = cw.compiled.program(machine, cw.params)
+            report = execute(program, machine, collectives=collectives)
 
-        # same folding as the heuristic's program, so the two prices
-        # share the driver's folding policy by construction
-        base_program = MappedProgram(
-            mapping=cw.baseline, folding=program.folding, params=cw.params
-        )
-        with span("baseline"):
-            base_report = execute(
-                base_program, machine, collectives=collectives
+        bkey = _baseline_price_key(task)
+        baseline_time, bhit = _baseline_lookup(bkey)
+        if not bhit:
+            # same folding as the heuristic's program, so the two prices
+            # share the driver's folding policy by construction
+            base_program = MappedProgram(
+                mapping=cw.baseline, folding=program.folding, params=cw.params
             )
+            with span("price.baseline"):
+                base_report = execute(
+                    base_program, machine, collectives=collectives
+                )
+            baseline_time = base_report.total_time
+            _baseline_store(bkey, baseline_time)
 
-    return TaskResult(
+    result = TaskResult(
         task_id=task.task_id,
         workload=task.workload.name,
         machine=task.machine,
@@ -231,8 +341,10 @@ def _price_task(task: SweepTask, cw: _CompiledWorkload) -> TaskResult:
         total_messages=report.total_messages,
         total_volume=report.total_volume,
         baseline_residuals=len(cw.baseline.optimized),
-        baseline_time=base_report.total_time,
+        baseline_time=baseline_time,
     )
+    result.baseline_cache_hit = bhit
+    return result
 
 
 def _execute_task_inner(task: SweepTask, attempt: int) -> TaskResult:
@@ -360,6 +472,146 @@ def crashed_result(
     )
 
 
+# ---------------------------------------------------------------------------
+# batched group pricing — one tensor op per compile-key group
+# ---------------------------------------------------------------------------
+
+#: process-local switch over the batched path (env default; flipped by
+#: :func:`set_group_pricing`)
+_group_pricing_enabled: bool = env_flag("REPRO_PRICE_BATCH", default=True)
+
+
+def set_group_pricing(enabled: bool) -> bool:
+    """Enable/disable batched whole-group pricing in this process
+    (``REPRO_PRICE_BATCH`` is the environment default); returns the
+    previous setting.  The per-task path is always kept — batched and
+    per-cell prices are bit-identical (asserted in
+    ``tests/runtime/test_group_pricing.py``), so this switch only
+    trades speed, never results."""
+    global _group_pricing_enabled
+    prev = _group_pricing_enabled
+    _group_pricing_enabled = enabled
+    return prev
+
+
+def group_pricing_allowed(
+    group: Sequence[SweepTask], timeout: Optional[float]
+) -> bool:
+    """Whether a compile-key group may take the batched pricing path.
+
+    The batched path prices all K cells in one pass, so it cannot
+    honour per-task semantics that interleave with pricing: a per-task
+    wall-clock cap, fault injection points, or per-task span capture
+    (tracing attributes spans to individual tasks).  A disabled compile
+    cache would also force K compiles through one path — the per-task
+    loop keeps the compile counters exact there."""
+    return (
+        _group_pricing_enabled
+        and len(group) > 1
+        and timeout is None
+        and _compile_cache_size > 0
+        and faults.active_spec() is None
+        and not obs_tracing.is_enabled()
+    )
+
+
+def price_group_batched(
+    group: Sequence[SweepTask],
+) -> Optional[List[TaskResult]]:
+    """Price one compile-key group with the batched group executor.
+
+    Compiles each task through the ordinary LRU path (one miss + K-1
+    hits, keeping the compile counters exactly as the per-task loop
+    would), stacks all K heuristic cells into one
+    :func:`repro.runtime.execute_group` call, then batches the
+    baseline cells that miss the price memo into a second call.
+    Results are bit-identical to K per-cell ``execute()`` runs by
+    construction of ``execute_group``.
+
+    Returns ``None`` when the batched attempt cannot proceed — a cell
+    raised, or LRU eviction split the group across compiled objects —
+    and the caller falls back to the per-task loop (which re-serves
+    the compiles from the cache)."""
+    from ..machine import machine_spec
+    from ..runtime import MappedProgram, execute_group
+
+    t0 = time.perf_counter()
+    try:
+        compiled: List[Tuple[SweepTask, _CompiledWorkload, bool]] = []
+        for task in group:
+            cw, hit = _compile_for_task(task)
+            compiled.append((task, cw, hit))
+        cw0 = compiled[0][1]
+        if any(cw is not cw0 for _, cw, _ in compiled):
+            return None
+
+        cells = []
+        for task, cw, _ in compiled:
+            spec = machine_spec(task.machine)
+            machine = spec.make(task.mesh)
+            cells.append(
+                (
+                    cw.compiled.program(machine, cw.params),
+                    machine,
+                    spec.make_collectives(task.mesh),
+                )
+            )
+        reports = execute_group(cells)
+
+        bkeys = [_baseline_price_key(t) for t, _, _ in compiled]
+        lookups = [_baseline_lookup(k) for k in bkeys]
+        btimes = [price for price, _ in lookups]
+        bhits = [hit for _, hit in lookups]
+        miss_idx = [i for i, hit in enumerate(bhits) if not hit]
+        if miss_idx:
+            base_cells = [
+                (
+                    MappedProgram(
+                        mapping=cw0.baseline,
+                        folding=cells[i][0].folding,
+                        params=cw0.params,
+                    ),
+                    cells[i][1],
+                    cells[i][2],
+                )
+                for i in miss_idx
+            ]
+            base_reports = execute_group(base_cells)
+            for i, rep in zip(miss_idx, base_reports):
+                btimes[i] = rep.total_time
+                _baseline_store(bkeys[i], rep.total_time)
+    except Exception:
+        return None
+
+    seconds = (time.perf_counter() - t0) / len(group)
+    results: List[TaskResult] = []
+    for (task, cw, hit), report, btime, bhit in zip(
+        compiled, reports, btimes, bhits
+    ):
+        result = TaskResult(
+            task_id=task.task_id,
+            workload=task.workload.name,
+            machine=task.machine,
+            mesh=task.mesh,
+            m=task.m,
+            rank_weights=task.rank_weights,
+            status="ok",
+            counts=cw.compiled.mapping.counts(),
+            residuals=len(cw.compiled.mapping.optimized),
+            total_time=report.total_time,
+            total_messages=report.total_messages,
+            total_volume=report.total_volume,
+            baseline_residuals=len(cw.baseline.optimized),
+            baseline_time=btime,
+        )
+        result.compile_cache_hit = hit
+        result.baseline_cache_hit = bhit
+        result.seconds = seconds
+        result.attempts = 1
+        results.append(result)
+    return results
+
+
 def _execute_task_group(
     group: Sequence[SweepTask],
     timeout: Optional[float] = None,
@@ -369,12 +621,19 @@ def _execute_task_group(
 
     All tasks of the group share a compile key, so the first task pays
     the compile and the rest hit the worker's cache — error capture and
-    the wall-clock cap stay per task.  ``compile_cache_size`` is the
-    parent's cache setting passed *explicitly* so spawn-context workers
-    (no fork inheritance) honour ``set_compile_cache_size`` /
-    ``REPRO_CAMPAIGN_COMPILE_CACHE`` values set after import."""
+    the wall-clock cap stay per task.  When :func:`group_pricing_allowed`
+    holds, the whole group is priced in one batched pass instead
+    (bit-identical results; per-task loop as fallback).
+    ``compile_cache_size`` is the parent's cache setting passed
+    *explicitly* so spawn-context workers (no fork inheritance) honour
+    ``set_compile_cache_size`` / ``REPRO_CAMPAIGN_COMPILE_CACHE``
+    values set after import."""
     if compile_cache_size is not None and compile_cache_size != _compile_cache_size:
         set_compile_cache_size(compile_cache_size)
+    if group_pricing_allowed(group, timeout):
+        results = price_group_batched(group)
+        if results is not None:
+            return results
     return [execute_task(task, timeout=timeout) for task in group]
 
 
@@ -434,6 +693,9 @@ class CampaignOutcome:
     #: compile-stage cache telemetry, aggregated over all workers
     compile_cache_hits: int = 0
     compile_cache_misses: int = 0
+    #: baseline price memo telemetry, aggregated over all workers
+    baseline_cache_hits: int = 0
+    baseline_cache_misses: int = 0
 
     def describe(self) -> str:
         counts = (
@@ -452,6 +714,12 @@ class CampaignOutcome:
             bits.append(
                 f"compile cache: {self.compile_cache_hits}/{priced} hit(s) "
                 f"({self.compile_cache_misses} nest(s) compiled)"
+            )
+        baselines = self.baseline_cache_hits + self.baseline_cache_misses
+        if baselines:
+            bits.append(
+                f"baseline cache: {self.baseline_cache_hits}/{baselines} "
+                f"hit(s) ({self.baseline_cache_misses} baseline(s) priced)"
             )
         if self.remaining:
             bits.append(f"{self.remaining} still pending (resume to finish)")
@@ -542,6 +810,7 @@ def run_campaign(
 
     ran = ok = errors = timeouts = crashed = retried = 0
     cache_hits = cache_misses = 0
+    baseline_hits = baseline_misses = 0
 
     # --trace: enable tracing for the duration of this run (restored in
     # the finally below), open the JSONL writer and remember each task's
@@ -562,7 +831,7 @@ def run_campaign(
 
     def record(result: TaskResult) -> None:
         nonlocal ran, ok, errors, timeouts, crashed, retried
-        nonlocal cache_hits, cache_misses
+        nonlocal cache_hits, cache_misses, baseline_hits, baseline_misses
         with span("store.append"):
             store.append(result)
         ran += 1
@@ -582,6 +851,10 @@ def run_campaign(
             cache_hits += 1
         elif result.compile_cache_hit is False:
             cache_misses += 1
+        if result.baseline_cache_hit is True:
+            baseline_hits += 1
+        elif result.baseline_cache_hit is False:
+            baseline_misses += 1
         if trace_writer is not None:
             # fold the worker's span tree into the campaign aggregate
             # and stream the per-task record (flushed immediately: a
@@ -617,6 +890,8 @@ def run_campaign(
             heartbeat_timeout=config.heartbeat_timeout,
             mp_context=config.mp_context,
             compile_cache_size=_compile_cache_size,
+            baseline_cache_size=_baseline_cache_size,
+            price_backend=_price_backend_name(),
             fault_spec=faults.active_spec(),
             trace=obs_tracing.is_enabled(),
         ),
@@ -657,4 +932,6 @@ def run_campaign(
         retried=retried,
         compile_cache_hits=cache_hits,
         compile_cache_misses=cache_misses,
+        baseline_cache_hits=baseline_hits,
+        baseline_cache_misses=baseline_misses,
     )

@@ -71,6 +71,10 @@ class TaskResult:
     #: the JSONL record (compile-once/price-many must leave the stored
     #: records byte-identical to a recompile-every-cell run)
     compile_cache_hit: Optional[bool] = field(default=None, compare=False)
+    #: whether this task's Feautrier-baseline price was served from the
+    #: runner's per-worker price memo — in-memory telemetry only, same
+    #: byte-identity contract as ``compile_cache_hit``
+    baseline_cache_hit: Optional[bool] = field(default=None, compare=False)
     #: per-task span tree (``{path: {"count", "seconds"}}``) captured by
     #: the worker while tracing is enabled — in-memory telemetry shipped
     #: back through the result pipe and written to the ``--trace`` JSONL
@@ -92,6 +96,7 @@ class TaskResult:
         d["record"] = "result"
         d["mesh"] = list(self.mesh)
         d.pop("compile_cache_hit", None)
+        d.pop("baseline_cache_hit", None)
         d.pop("trace", None)
         # default-valued taxonomy fields are omitted so records of a
         # fault-free campaign stay byte-identical to the historical

@@ -17,10 +17,17 @@
   :class:`T3DModel` and :class:`CM5Model` presets.
 """
 
+from .backend import (
+    BACKEND_ENV,
+    array_namespace,
+    price_backend,
+    set_price_backend,
+)
 from .contention import (
     CostParams,
     PhaseReport,
     phase_time,
+    phase_time_arrays,
     phase_time_python,
     phased_time,
     total_time,
@@ -68,9 +75,14 @@ __all__ = [
     "CostParams",
     "PhaseReport",
     "phase_time",
+    "phase_time_arrays",
     "phase_time_python",
     "phased_time",
     "total_time",
+    "BACKEND_ENV",
+    "array_namespace",
+    "price_backend",
+    "set_price_backend",
     "EventSimulator",
     "MachineModel",
     "MachineSpec",

@@ -1,0 +1,161 @@
+"""Pluggable array backend for the batched pricing path.
+
+The batched group executor (:func:`repro.runtime.executor.execute_group`)
+is written against a small duck-typed slice of the array API —
+``asarray`` / ``concatenate`` / ``unique`` over int64 matrices — so the
+same code can run its group-by reductions on a GPU.  This module owns
+the selection knob:
+
+* ``REPRO_PRICE_BACKEND`` — environment default (``numpy`` when unset);
+* :func:`set_price_backend` / :func:`price_backend` — process-local
+  override, passed through executor worker init so spawn-context
+  workers honour a parent's choice (see
+  :class:`repro.campaign.executors.ExecutorConfig`);
+* :func:`array_namespace` — the live module (``numpy`` or ``cupy``).
+
+``cupy`` is **optional and never imported eagerly**: selecting it on a
+box without the package raises a friendly error naming the knob, and
+the numpy path never pays an import attempt.  Results are bit-identical
+across backends by construction — the backend only executes the stacked
+``unique`` group-bys; all float cost arithmetic stays in the Python/
+NumPy scalar path (:func:`repro.machine.contention.phase_time_arrays`).
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict, Optional
+
+import numpy as np
+
+from ..obs.metrics import register_provider as _register_provider
+
+#: the environment knob read once at first use
+BACKEND_ENV = "REPRO_PRICE_BACKEND"
+
+#: selectable backends (``cupy`` is gated on the package being present)
+KNOWN_BACKENDS = ("numpy", "cupy")
+
+#: current backend name; ``None`` = not resolved from the env yet
+_backend_name: Optional[str] = None
+#: imported array modules by backend name
+_modules: Dict[str, object] = {"numpy": np}
+
+
+def _import_backend(name: str):
+    """Import (and cache) the array module of a known backend name.
+
+    Raises a friendly error for an unknown name or a missing optional
+    package — the message names the knob so a misconfigured campaign
+    fails actionably instead of with a bare ``ModuleNotFoundError``.
+    """
+    if name not in KNOWN_BACKENDS:
+        raise ValueError(
+            f"unknown price backend {name!r} (known: "
+            f"{', '.join(KNOWN_BACKENDS)}; set {BACKEND_ENV} or call "
+            "set_price_backend)"
+        )
+    mod = _modules.get(name)
+    if mod is not None:
+        return mod
+    try:
+        import cupy as mod  # the only backend not imported eagerly
+    except ImportError as exc:
+        raise RuntimeError(
+            f"price backend {name!r} selected (via {BACKEND_ENV} or "
+            "set_price_backend) but the cupy package is not installed: "
+            "install cupy matching your CUDA toolkit, or select the "
+            "'numpy' backend"
+        ) from exc
+    _modules[name] = mod
+    return mod
+
+
+def price_backend() -> str:
+    """The active backend name (resolving ``REPRO_PRICE_BACKEND`` on
+    first use; an unknown/unavailable env value fails at first pricing
+    rather than at import)."""
+    global _backend_name
+    if _backend_name is None:
+        _backend_name = os.environ.get(BACKEND_ENV, "numpy").strip() or "numpy"
+    return _backend_name
+
+
+def set_price_backend(name: str) -> str:
+    """Select the array backend for this process; returns the previous
+    name.  Validates eagerly — selecting ``cupy`` without the package
+    raises immediately, not mid-campaign."""
+    global _backend_name
+    _import_backend(name)
+    prev = price_backend()
+    _backend_name = name
+    return prev
+
+
+def array_namespace():
+    """The live array module of the active backend (duck-typed: numpy
+    or cupy, both expose ``asarray``/``concatenate``/``unique``)."""
+    return _import_backend(price_backend())
+
+
+def to_host(arr) -> np.ndarray:
+    """Bring a backend array to host memory as ``np.ndarray`` (identity
+    for numpy; ``.get()`` for device arrays, duck-typed)."""
+    if isinstance(arr, np.ndarray):
+        return arr
+    get = getattr(arr, "get", None)
+    if get is not None:
+        return np.asarray(get())
+    return np.asarray(arr)
+
+
+def unique_rows(stacked: np.ndarray):
+    """``np.unique(stacked, axis=0, return_counts=True)`` on the active
+    backend, results on host.
+
+    ``np.unique(..., axis=0)`` compares rows as opaque byte strings,
+    which makes its sort the single hottest call of a batched pricing
+    run.  Rows here are small non-negative ints (cell ids, phase times,
+    mesh coordinates), so each row packs into one int64 key whose scalar
+    order equals the row's lexicographic order — a 1-D unique over the
+    keys returns the same rows in the same order and the same counts,
+    roughly an order of magnitude faster.  Rows that cannot pack (a
+    negative value, or > 63 key bits) fall back to the axis unique.
+
+    This is the one group-by the batched pricing path runs per label —
+    routing it (and only it) through the backend keeps every float cost
+    computation on the exact scalar path while letting the heavy int64
+    sort/dedup run on a device when ``cupy`` is selected.
+    """
+    xp = array_namespace()
+    arr = xp.asarray(stacked)
+    n, ncols = arr.shape
+    if n and ncols and np.issubdtype(np.dtype(arr.dtype), np.integer):
+        mins = to_host(arr.min(axis=0))
+        if int(mins.min()) >= 0:
+            maxs = to_host(arr.max(axis=0))
+            bits = [max(int(m).bit_length(), 1) for m in maxs]
+            if sum(bits) <= 63:
+                keys = arr[:, 0].astype(xp.int64)
+                for j in range(1, ncols):
+                    keys = (keys << bits[j]) | arr[:, j]
+                ukeys, counts = xp.unique(keys, return_counts=True)
+                cols = []
+                for j in range(ncols - 1, 0, -1):
+                    cols.append(ukeys & ((1 << bits[j]) - 1))
+                    ukeys = ukeys >> bits[j]
+                cols.append(ukeys)
+                uniq = xp.stack(cols[::-1], axis=1)
+                return to_host(uniq), to_host(counts)
+    if xp is np:
+        return np.unique(stacked, axis=0, return_counts=True)
+    uniq, counts = xp.unique(arr, axis=0, return_counts=True)
+    return to_host(uniq), to_host(counts)
+
+
+def backend_stats() -> Dict[str, object]:
+    """Snapshot row for the obs metrics registry."""
+    return {"backend": price_backend()}
+
+
+_register_provider("machine.price_backend", backend_stats)

@@ -31,6 +31,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Iterable, List, Sequence
 
+import numpy as np
+
 from .routecache import max_link_load, route_cache_for
 from .topology import Link, Mesh2D, Message
 
@@ -122,6 +124,68 @@ def phase_time(
         max_msgs_per_sender=max_fanout,
         total_messages=remote,
         total_volume=total_volume,
+        local_messages=local,
+    )
+
+
+def phase_time_arrays(
+    mesh,
+    senders: np.ndarray,
+    receivers: np.ndarray,
+    sizes: np.ndarray,
+    params: CostParams,
+    cache=None,
+) -> PhaseReport:
+    """Array-native :func:`phase_time`: one phase given endpoint
+    coordinate matrices instead of :class:`Message` objects.
+
+    ``senders``/``receivers`` are ``(n, rank)`` int64 coordinate rows,
+    ``sizes`` the ``(n,)`` message sizes.  Bit-identical to building
+    the equivalent ``Message`` list and calling :func:`phase_time`
+    (asserted in ``tests/machine/test_backend.py``): fanout and hop
+    counts come from array reductions — max hops equals the Manhattan
+    distance, which is exactly ``route length - 2`` for the caches'
+    dimension-order routes — while the per-link load accumulation and
+    the final cost formula reuse the same :func:`max_link_load` /
+    ``CostParams`` arithmetic on the same Python ints.
+    """
+    if cache is None:
+        cache = route_cache_for(mesh)
+    senders = np.asarray(senders, dtype=np.int64)
+    receivers = np.asarray(receivers, dtype=np.int64)
+    sizes = np.asarray(sizes, dtype=np.int64)
+    nonlocal_mask = np.any(senders != receivers, axis=1)
+    local = int(senders.shape[0] - nonlocal_mask.sum())
+    if local:
+        senders = senders[nonlocal_mask]
+        receivers = receivers[nonlocal_mask]
+        sizes = sizes[nonlocal_mask]
+    remote = senders.shape[0]
+    if remote:
+        _, fan_counts = np.unique(senders, axis=0, return_counts=True)
+        max_fanout = int(fan_counts.max())
+        max_hops = int(np.abs(receivers - senders).sum(axis=1).max())
+    else:
+        max_fanout = 0
+        max_hops = 0
+    size_list = sizes.tolist()
+    id_arrays = [
+        cache.link_ids(tuple(s), tuple(d))
+        for s, d in zip(senders.tolist(), receivers.tolist())
+    ]
+    max_load = max_link_load(cache, id_arrays, size_list)
+    time = (
+        params.alpha * max_fanout
+        + params.beta * max_load
+        + params.gamma * max_hops
+    )
+    return PhaseReport(
+        time=time,
+        max_link_load=max_load,
+        max_hops=max_hops,
+        max_msgs_per_sender=max_fanout,
+        total_messages=remote,
+        total_volume=sum(size_list),
         local_messages=local,
     )
 

@@ -36,7 +36,14 @@ import math
 from dataclasses import dataclass, field
 from typing import List, Sequence
 
-from .contention import CostParams, PhaseReport, phase_time, phased_time, total_time
+from .contention import (
+    CostParams,
+    PhaseReport,
+    phase_time,
+    phase_time_arrays,
+    phased_time,
+    total_time,
+)
 from .eventsim import EventSimulator
 from .model import MachineSpec, register_machine
 from .topology import Mesh2D, Message
@@ -55,6 +62,14 @@ class ParagonModel:
 
     def time_phase(self, messages: Sequence[Message]) -> PhaseReport:
         return phase_time(self.mesh, messages, self.params)
+
+    def time_phase_arrays(self, senders, receivers, sizes) -> PhaseReport:
+        """Array-native :meth:`time_phase` (endpoint coordinate
+        matrices, no ``Message`` objects) — the surface the batched
+        group executor probes for (duck-typed; bit-identical)."""
+        return phase_time_arrays(
+            self.mesh, senders, receivers, sizes, self.params
+        )
 
     def time_phases(self, phases: Sequence[Sequence[Message]]) -> float:
         return total_time(phased_time(self.mesh, phases, self.params))
@@ -112,6 +127,12 @@ class T3DModel:
 
     def time_phase(self, messages) -> PhaseReport:
         return phase_time(self.mesh, messages, self.params)
+
+    def time_phase_arrays(self, senders, receivers, sizes) -> PhaseReport:
+        """Array-native :meth:`time_phase`, as on the 2-D model."""
+        return phase_time_arrays(
+            self.mesh, senders, receivers, sizes, self.params
+        )
 
     def time_phases(self, phases) -> float:
         return total_time(phased_time(self.mesh, phases, self.params))

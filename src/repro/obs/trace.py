@@ -72,6 +72,7 @@ class TraceWriter:
                 "seconds": result.seconds,
                 "attempts": result.attempts,
                 "compile_cache_hit": result.compile_cache_hit,
+                "baseline_cache_hit": result.baseline_cache_hit,
                 "spans": result.trace or {},
             }
         )
@@ -134,6 +135,17 @@ def _stage_seconds(spans: Dict, stage: str) -> float:
     return float(entry.get("seconds", 0.0))
 
 
+def _subspan_seconds(spans: Dict, name: str) -> float:
+    """Seconds of a named sub-span wherever it nests (span seconds are
+    inclusive, so a sub-span never changes its stage's total — it only
+    attributes a slice of it)."""
+    return sum(
+        float(e.get("seconds", 0.0))
+        for path, e in spans.items()
+        if path.split("/")[-1] == name
+    )
+
+
 def stage_rows(tasks: Sequence[Dict]) -> List[Dict]:
     """Per compile-key group stage breakdown rows.
 
@@ -156,6 +168,12 @@ def stage_rows(tasks: Sequence[Dict]) -> List[Dict]:
         seconds = sum(float(t.get("seconds", 0.0)) for t in ts)
         compile_s = sum(_stage_seconds(t.get("spans", {}), "compile") for t in ts)
         price_s = sum(_stage_seconds(t.get("spans", {}), "price") for t in ts)
+        heur_s = sum(
+            _subspan_seconds(t.get("spans", {}), "price.heuristic") for t in ts
+        )
+        base_s = sum(
+            _subspan_seconds(t.get("spans", {}), "price.baseline") for t in ts
+        )
         phase_calls = sum(
             int(e.get("count", 0))
             for t in ts
@@ -171,6 +189,8 @@ def stage_rows(tasks: Sequence[Dict]) -> List[Dict]:
                 "traceless": sum(1 for t in ts if not t.get("spans")),
                 "compile_seconds": compile_s,
                 "price_seconds": price_s,
+                "price_heuristic_seconds": heur_s,
+                "price_baseline_seconds": base_s,
                 "phase_calls": phase_calls,
                 "overhead_seconds": max(0.0, seconds - compile_s - price_s),
                 "seconds": seconds,
@@ -187,6 +207,12 @@ def stage_totals(tasks: Sequence[Dict]) -> Dict[str, float]:
         "tasks": sum(r["tasks"] for r in rows),
         "compile_seconds": sum(r["compile_seconds"] for r in rows),
         "price_seconds": sum(r["price_seconds"] for r in rows),
+        "price_heuristic_seconds": sum(
+            r["price_heuristic_seconds"] for r in rows
+        ),
+        "price_baseline_seconds": sum(
+            r["price_baseline_seconds"] for r in rows
+        ),
         "overhead_seconds": sum(r["overhead_seconds"] for r in rows),
         "task_seconds": sum(r["seconds"] for r in rows),
         "phase_calls": sum(r["phase_calls"] for r in rows),
@@ -207,6 +233,8 @@ def format_stage_breakdown(tasks: Sequence[Dict]) -> str:
             r["ok"],
             r["compile_seconds"],
             r["price_seconds"],
+            r["price_heuristic_seconds"],
+            r["price_baseline_seconds"],
             r["phase_calls"],
             r["overhead_seconds"],
             r["seconds"],
@@ -221,6 +249,8 @@ def format_stage_breakdown(tasks: Sequence[Dict]) -> str:
             sum(r["ok"] for r in rows),
             totals["compile_seconds"],
             totals["price_seconds"],
+            totals["price_heuristic_seconds"],
+            totals["price_baseline_seconds"],
             totals["phase_calls"],
             totals["overhead_seconds"],
             totals["task_seconds"],
@@ -229,7 +259,8 @@ def format_stage_breakdown(tasks: Sequence[Dict]) -> str:
     return format_table(
         [
             "workload", "compile_key", "tasks", "ok", "compile_s",
-            "price_s", "phases", "overhead_s", "total_s",
+            "price_s", "heur_s", "base_s", "phases", "overhead_s",
+            "total_s",
         ],
         table,
         title="per-stage time by compile-key group",

@@ -12,6 +12,7 @@ from .executor import (
     CommReport,
     count_nonlocal_virtual,
     execute,
+    execute_group,
     execute_python,
 )
 from .mapping import CommBatch, CommEvent, Folding, MappedProgram
@@ -24,6 +25,7 @@ __all__ = [
     "CommReport",
     "AccessCommStats",
     "execute",
+    "execute_group",
     "execute_python",
     "count_nonlocal_virtual",
 ]

@@ -38,6 +38,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from ..machine import CM5Model, MachineModel, Message
+from ..machine.backend import unique_rows
 from ..obs import span, traced
 from .mapping import CommBatch, CommEvent, MappedProgram
 
@@ -117,18 +118,17 @@ def _price_phase(
 ) -> float:
     """Price one phase given its coalesced ``(sender, receiver)`` pairs
     (rows of ``pairs``, multiplicities in ``counts``).  Returns the time
-    added (mirrors the per-phase body of :func:`execute_python`)."""
+    added (mirrors the per-phase body of :func:`execute_python`).
+
+    Array-native: machines exposing ``time_phase_arrays`` (the
+    Paragon/T3D presets) price the coordinate matrices directly — no
+    per-message ``Message`` object churn; anything else gets the
+    classic ``Message`` list (duck-typed fallback, so custom registered
+    models keep working).  Bit-identical either way (asserted in
+    ``tests/machine/test_backend.py``)."""
     sizes = counts * payload
-    msgs = [
-        Message(
-            src=tuple(row[:rank]),
-            dst=tuple(row[rank:]),
-            size=int(sz),
-        )
-        for row, sz in zip(pairs.tolist(), sizes.tolist())
-    ]
     st.messages_before_vectorization += n_events
-    st.messages_after_vectorization += len(msgs)
+    st.messages_after_vectorization += pairs.shape[0]
     st.volume += int(sizes.sum())
     if collectives is not None and st.classification == "macro":
         opt = program.mapping.residual_by_label(label)
@@ -141,9 +141,46 @@ def _price_phase(
         st.macro_ops += 1
         st.time += t
         return t
-    rep = machine.time_phase(msgs)
+    fn = getattr(machine, "time_phase_arrays", None)
+    if fn is not None:
+        rep = fn(pairs[:, :rank], pairs[:, rank:], sizes)
+    else:
+        rep = machine.time_phase(
+            [
+                Message(src=tuple(row[:rank]), dst=tuple(row[rank:]), size=int(sz))
+                for row, sz in zip(pairs.tolist(), sizes.tolist())
+            ]
+        )
     st.time += rep.time
     return rep.time
+
+
+def _price_label_mixed(
+    program: MappedProgram,
+    machine: MachineModel,
+    collectives: Optional[CM5Model],
+    st: AccessCommStats,
+    label: str,
+    chunks: Sequence[Tuple[np.ndarray, np.ndarray]],
+    payload: int,
+    rank: int,
+) -> float:
+    """One label spanning statements with different schedule
+    dimensionalities: bucket by time tuple like the python path
+    (mixed-width rows cannot concatenate)."""
+    total = 0.0
+    buckets: Dict[Tuple[int, ...], List[List[int]]] = {}
+    for t_arr, p_arr in chunks:
+        for trow, prow in zip(t_arr.tolist(), p_arr.tolist()):
+            buckets.setdefault(tuple(trow), []).append(prow)
+    for tkey in sorted(buckets):
+        sel = np.array(buckets[tkey], dtype=np.int64)
+        upairs, counts = unique_rows(sel)
+        total += _price_phase(
+            program, machine, collectives, st, label,
+            sel.shape[0], upairs, counts, payload, rank,
+        )
+    return total
 
 
 def execute(
@@ -170,9 +207,10 @@ def execute(
         batches = program.comm_batches()
     rank = program.folding.rank
     per_access: Dict[str, AccessCommStats] = {}
-    # per label: (time rows, sender|receiver pair rows) of the events
-    # that survive the locality filters, concatenated in event order
-    remaining: Dict[str, List[Tuple[np.ndarray, np.ndarray]]] = {}
+    # per label: the batches whose events survive the locality filters
+    # (group-by outputs are memoized on the batches, so re-pricing the
+    # same program reuses one extraction)
+    remaining: Dict[str, List[CommBatch]] = {}
     for b in batches:
         if b.n == 0:
             # no events -> no stats entry, exactly like the per-event
@@ -187,15 +225,11 @@ def execute(
             )
             per_access[label] = st
         st.events += b.n
-        virt_local = np.all(b.sender_virtual == b.receiver_virtual, axis=1)
+        virt_local, phys_local, send = b.locality_masks()
         st.virtual_local += int(virt_local.sum())
-        nonlocal_mask = ~virt_local
-        phys_local = nonlocal_mask & np.all(b.sender == b.receiver, axis=1)
         st.phys_local += int(phys_local.sum())
-        send = nonlocal_mask & ~phys_local
         if send.any():
-            pair = np.concatenate((b.sender[send], b.receiver[send]), axis=1)
-            remaining.setdefault(label, []).append((b.times[send], pair))
+            remaining.setdefault(label, []).append(b)
 
     total_time = 0.0
     # phase pricing in the exact order of the python path: labels in
@@ -203,38 +237,41 @@ def execute(
     # lexicographically sorted, matching tuple-sorted bucket keys)
     for label in sorted(remaining):
         st = per_access[label]
-        chunks = remaining[label]
+        blist = remaining[label]
+        vec = _vectorizable(program, label)
+        if len(blist) == 1:
+            # one batch owns the label (the common case): price its
+            # memoized phase partition directly
+            for n_events, upairs, counts in blist[0].phase_partition(vec):
+                total_time += _price_phase(
+                    program, machine, collectives, st, label,
+                    n_events, upairs, counts, payload, rank,
+                )
+            continue
+        chunks = [
+            (b.times[b.locality_masks()[2]], b.send_pairs()) for b in blist
+        ]
         pairs = np.concatenate([p for _, p in chunks], axis=0)
-        if _vectorizable(program, label):
+        if vec:
             # vectorization merges all time steps into one phase
-            upairs, counts = np.unique(pairs, axis=0, return_counts=True)
+            upairs, counts = unique_rows(pairs)
             total_time += _price_phase(
                 program, machine, collectives, st, label,
                 pairs.shape[0], upairs, counts, payload, rank,
             )
             continue
         if len({t.shape[1] for t, _ in chunks}) > 1:
-            # one label spanning statements with different schedule
-            # dimensionalities: bucket by time tuple like the python
-            # path (mixed-width rows cannot concatenate)
-            buckets: Dict[Tuple[int, ...], List[List[int]]] = {}
-            for t_arr, p_arr in chunks:
-                for trow, prow in zip(t_arr.tolist(), p_arr.tolist()):
-                    buckets.setdefault(tuple(trow), []).append(prow)
-            for tkey in sorted(buckets):
-                sel = np.array(buckets[tkey], dtype=np.int64)
-                upairs, counts = np.unique(sel, axis=0, return_counts=True)
-                total_time += _price_phase(
-                    program, machine, collectives, st, label,
-                    sel.shape[0], upairs, counts, payload, rank,
-                )
+            total_time += _price_label_mixed(
+                program, machine, collectives, st, label,
+                chunks, payload, rank,
+            )
             continue
         times = np.concatenate([t for t, _ in chunks], axis=0)
         utimes, inverse = np.unique(times, axis=0, return_inverse=True)
         inverse = np.asarray(inverse).ravel()
         for k in range(utimes.shape[0]):
             sel = pairs[inverse == k]
-            upairs, counts = np.unique(sel, axis=0, return_counts=True)
+            upairs, counts = unique_rows(sel)
             total_time += _price_phase(
                 program, machine, collectives, st, label,
                 sel.shape[0], upairs, counts, payload, rank,
@@ -250,6 +287,159 @@ def execute(
         total_messages=total_messages,
         total_volume=total_volume,
     )
+
+
+def execute_group(
+    cells: Sequence[Tuple[MappedProgram, MachineModel, Optional[CM5Model]]],
+    payload: int = 1,
+) -> List[CommReport]:
+    """Price all K machine x mesh cells of one compiled nest in one
+    batched pass — bit-identical to ``[execute(p, m, collectives=c)
+    for p, m, c in cells]`` (property-tested in
+    ``tests/runtime/test_group_pricing.py``).
+
+    Every cell must fold the **same mapping** with the **same size
+    bindings** (the campaign's compile-key group invariant: domains,
+    schedule times and virtual coordinates are shared arrays; only the
+    folded physical coordinates differ per cell).  Instead of running
+    the per-phase ``np.unique`` group-bys K times, the cells' surviving
+    ``(sender, receiver)`` rows are stacked into one int64 tensor with
+    a leading cell-id column and grouped **once** per label on the
+    configured array backend (``REPRO_PRICE_BACKEND``); lexicographic
+    unique order makes the per-(cell, time) segments come out exactly
+    in each cell's own phase order, so float accumulation order — and
+    therefore every total — matches the per-cell path bit for bit.
+    """
+    if not cells:
+        return []
+    programs = [c[0] for c in cells]
+    base = programs[0]
+    for p in programs[1:]:
+        if p.mapping is not base.mapping:
+            raise ValueError(
+                "execute_group needs the cells of one compiled nest: "
+                "all programs must share one mapping object"
+            )
+        if p.params != base.params:
+            raise ValueError(
+                "execute_group needs identical size bindings across "
+                f"cells (got {base.params!r} vs {p.params!r})"
+            )
+    if len(cells) == 1:
+        program, machine, coll = cells[0]
+        return [execute(program, machine, collectives=coll, payload=payload)]
+
+    K = len(cells)
+    rank = base.folding.rank
+    with span("exec.extract"):
+        batch_lists = [p.comm_batches() for p in programs]
+
+    per_access: List[Dict[str, AccessCommStats]] = [{} for _ in range(K)]
+    totals = [0.0] * K
+    # label -> per-cell lists of surviving batches
+    remaining: Dict[str, List[List[CommBatch]]] = {}
+    classifications: Dict[str, str] = {}
+    for bi, b0 in enumerate(batch_lists[0]):
+        if b0.n == 0:
+            continue
+        label = b0.access_label
+        if label not in classifications:
+            classifications[label] = _classification_of(base, label)
+        # the virtual arrays are shared objects across cells, so the
+        # virtual-locality mask is computed once and seeded into every
+        # cell's batch before its (per-cell) physical masks
+        virt_local = b0.virtual_local_mask()
+        n_virt_local = int(virt_local.sum())
+        for k in range(K):
+            b = batch_lists[k][bi]
+            st = per_access[k].get(label)
+            if st is None:
+                st = AccessCommStats(
+                    label=label, classification=classifications[label]
+                )
+                per_access[k][label] = st
+            st.events += b.n
+            st.virtual_local += n_virt_local
+            b.__dict__.setdefault("_virt_local", virt_local)
+            _, phys_local, send = b.locality_masks()
+            st.phys_local += int(phys_local.sum())
+            if send.any():
+                remaining.setdefault(
+                    label, [[] for _ in range(K)]
+                )[k].append(b)
+
+    cell_ids = np.arange(K, dtype=np.int64)
+    for label in sorted(remaining):
+        per_cell = remaining[label]
+        vec = _vectorizable(base, label)
+        widths = {
+            b.times.shape[1] for blist in per_cell for b in blist
+        }
+        if not vec and len(widths) > 1:
+            # mixed schedule widths cannot stack; fall back to the
+            # per-cell python bucketing (identical to execute())
+            for k in range(K):
+                if not per_cell[k]:
+                    continue
+                chunks = [
+                    (b.times[b.locality_masks()[2]], b.send_pairs())
+                    for b in per_cell[k]
+                ]
+                totals[k] += _price_label_mixed(
+                    programs[k], cells[k][1], cells[k][2],
+                    per_access[k][label], label, chunks, payload, rank,
+                )
+            continue
+
+        # stack all cells' rows as [cell | (time) | sender | receiver]
+        blocks: List[np.ndarray] = []
+        n_events_cell = [0] * K
+        tw = 0 if vec else widths.pop()
+        for k in range(K):
+            for b in per_cell[k]:
+                pairs = b.send_pairs()
+                cols = [np.full((pairs.shape[0], 1), cell_ids[k])]
+                if not vec:
+                    cols.append(b.times[b.locality_masks()[2]])
+                cols.append(pairs)
+                blocks.append(np.concatenate(cols, axis=1))
+                n_events_cell[k] += pairs.shape[0]
+        stacked = np.concatenate(blocks, axis=0)
+        uniq, counts = unique_rows(stacked)
+
+        # segment boundaries where the (cell[, time]) prefix changes;
+        # within a segment the unique rows are the phase's lex-sorted
+        # coalesced pairs, exactly what the per-cell np.unique yields
+        prefix = uniq[:, : 1 + tw]
+        if uniq.shape[0] == 0:
+            continue
+        change = np.nonzero(np.any(prefix[1:] != prefix[:-1], axis=1))[0]
+        starts = np.concatenate(([0], change + 1, [uniq.shape[0]]))
+        for s, e in zip(starts[:-1], starts[1:]):
+            k = int(uniq[s, 0])
+            upairs = uniq[s:e, 1 + tw:]
+            seg_counts = counts[s:e]
+            n_events = n_events_cell[k] if vec else int(seg_counts.sum())
+            totals[k] += _price_phase(
+                programs[k], cells[k][1], cells[k][2],
+                per_access[k][label], label,
+                n_events, upairs, seg_counts, payload, rank,
+            )
+
+    reports: List[CommReport] = []
+    for k in range(K):
+        pa = per_access[k]
+        reports.append(
+            CommReport(
+                per_access=pa,
+                total_time=totals[k],
+                total_messages=sum(
+                    s.messages_after_vectorization for s in pa.values()
+                ),
+                total_volume=sum(s.volume for s in pa.values()),
+            )
+        )
+    return reports
 
 
 def execute_python(

@@ -48,6 +48,7 @@ from ..alignment import MappingResult
 from ..distribution import Distribution1D, make_1d
 from ..ir import AccessKind
 from ..linalg import IntMat
+from ..machine.backend import unique_rows
 
 Virtual = Tuple[int, ...]
 Phys = Tuple[int, ...]
@@ -186,6 +187,16 @@ class CommBatch:
     One row per iteration-domain point, in ``itertools.product`` order
     (the exact order :meth:`MappedProgram.comm_events_python` emits
     events in).  All arrays are int64.
+
+    The executor's group-by reductions over a batch — locality masks
+    and the per-phase ``np.unique`` pair coalescing — are **memoized on
+    the instance** (:meth:`locality_masks`, :meth:`phase_partition`):
+    pricing the same program again (the heuristic-vs-baseline
+    comparison, bench reruns, the batched group path) reuses one
+    extraction instead of re-uniquing per call.  Batches are rebuilt
+    whenever the mapping mutates (see
+    :meth:`MappedProgram.comm_batches`), so the caches can never serve
+    stale arrays.
     """
 
     access_label: str
@@ -202,6 +213,80 @@ class CommBatch:
     @property
     def n(self) -> int:
         return self.sender_virtual.shape[0]
+
+    def virtual_local_mask(self) -> np.ndarray:
+        """Rows local on the *virtual* grid (folding-independent), so
+        the batched group executor seeds it across the K cells of one
+        compiled nest — their virtual arrays are the same objects."""
+        mask = self.__dict__.get("_virt_local")
+        if mask is None:
+            mask = np.all(self.sender_virtual == self.receiver_virtual, axis=1)
+            self.__dict__["_virt_local"] = mask
+        return mask
+
+    def locality_masks(self) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """``(virtual_local, phys_local, send)`` row masks, memoized.
+
+        ``phys_local`` counts only rows *not* already virtual-local
+        (matching the per-event path's early-continue order); ``send``
+        is what survives both filters.
+        """
+        cached = self.__dict__.get("_locality")
+        if cached is None:
+            virt_local = self.virtual_local_mask()
+            nonlocal_mask = ~virt_local
+            phys_local = nonlocal_mask & np.all(
+                self.sender == self.receiver, axis=1
+            )
+            send = nonlocal_mask & ~phys_local
+            cached = (virt_local, phys_local, send)
+            self.__dict__["_locality"] = cached
+        return cached
+
+    def send_pairs(self) -> np.ndarray:
+        """``sender | receiver`` rows of the surviving (send) events,
+        concatenated columns — the executor's phase group-by input."""
+        pairs = self.__dict__.get("_send_pairs")
+        if pairs is None:
+            send = self.locality_masks()[2]
+            pairs = np.concatenate(
+                (self.sender[send], self.receiver[send]), axis=1
+            )
+            self.__dict__["_send_pairs"] = pairs
+        return pairs
+
+    def phase_partition(
+        self, vectorizable: bool
+    ) -> List[Tuple[int, np.ndarray, np.ndarray]]:
+        """The batch's send events grouped into priced phases:
+        ``[(n_events, unique_pairs, counts)]`` in phase order.
+
+        Vectorizable accesses merge every time step into one phase;
+        otherwise phases follow ``np.unique`` time order (ascending,
+        matching the per-event path's sorted bucket keys).  Memoized
+        per ``vectorizable`` flag — the 1534-unique-calls-per-run
+        profile hotspot collapses to one extraction per batch.
+        """
+        cache = self.__dict__.setdefault("_phase_partition", {})
+        hit = cache.get(vectorizable)
+        if hit is not None:
+            return hit
+        pairs = self.send_pairs()
+        phases: List[Tuple[int, np.ndarray, np.ndarray]] = []
+        if vectorizable:
+            upairs, counts = unique_rows(pairs)
+            phases.append((pairs.shape[0], upairs, counts))
+        else:
+            send = self.locality_masks()[2]
+            times = self.times[send]
+            utimes, inverse = np.unique(times, axis=0, return_inverse=True)
+            inverse = np.asarray(inverse).ravel()
+            for k in range(utimes.shape[0]):
+                sel = pairs[inverse == k]
+                upairs, counts = unique_rows(sel)
+                phases.append((sel.shape[0], upairs, counts))
+        cache[vectorizable] = phases
+        return phases
 
 
 def _domain_matrix(stmt, params: Dict[str, int]) -> np.ndarray:

@@ -8,14 +8,22 @@ from repro.__main__ import main
 from repro.campaign import (
     CampaignConfig,
     RunStore,
+    baseline_cache_stats,
+    clear_baseline_cache,
     default_spec,
     execute_task,
     executor_names,
     make_executor,
     run_campaign,
+    set_baseline_cache_size,
     set_compile_cache_size,
 )
-from repro.campaign.executors import BACKOFF_CAP, ExecutorConfig, backoff_delay
+from repro.campaign.executors import (
+    BACKOFF_CAP,
+    ExecutorConfig,
+    backoff_delay,
+    init_worker,
+)
 
 
 @pytest.fixture(scope="module")
@@ -209,6 +217,60 @@ class TestSpawnConfigPassthrough:
         assert outcome.ok == len(grid[1])
         assert outcome.compile_cache_hits == 0
         assert outcome.compile_cache_misses == len(grid[1])
+
+    def test_spawn_workers_honour_parent_baseline_cache_size(self, tmp_path):
+        # the baseline price memo must travel through worker init like
+        # the compile-cache size: a rank-weights sweep on one pool
+        # worker hits the memo by default, and a parent that disabled
+        # it must see zero hits even from spawn-context workers
+        spec = default_spec(
+            seed=0, nests=2, include_corpus=False,
+            machines=("paragon",), meshes=((4, 4), (2, 2)),
+            rank_weights=(True, False),
+        )
+        tasks = spec.expand()
+        cells = len(tasks) // 2  # distinct (workload, machine, mesh)
+
+        def run(name):
+            path = str(tmp_path / f"{name}.jsonl")
+            outcome = run_campaign(
+                tasks, path,
+                CampaignConfig(jobs=1, executor="pool", mp_context="spawn"),
+                meta={"spec_digest": spec.digest()},
+            )
+            return outcome
+
+        clear_baseline_cache()
+        outcome = run("default")
+        assert outcome.ok == len(tasks)
+        assert outcome.baseline_cache_misses == cells
+        assert outcome.baseline_cache_hits == cells
+
+        prev = set_baseline_cache_size(0)
+        try:
+            outcome = run("disabled")
+        finally:
+            set_baseline_cache_size(prev)
+        assert outcome.ok == len(tasks)
+        assert outcome.baseline_cache_hits == 0
+        assert outcome.baseline_cache_misses == len(tasks)
+
+    def test_init_worker_applies_baseline_and_backend_knobs(self):
+        from repro.machine.backend import price_backend
+
+        prev = baseline_cache_stats()["maxsize"]
+        try:
+            init_worker(
+                ExecutorConfig(
+                    baseline_cache_size=7, price_backend="numpy"
+                ),
+                allow_kill=False,
+                allow_hang=False,
+            )
+            assert baseline_cache_stats()["maxsize"] == 7
+            assert price_backend() == "numpy"
+        finally:
+            set_baseline_cache_size(prev)
 
 
 class TestTimeoutValidation:

@@ -100,6 +100,34 @@ class TestRoundTrip:
         assert "per-stage time by compile-key group" in report
         assert "span aggregate" in report
 
+    def test_price_subspans_attribute_the_two_halves(self, grid, tmp_path):
+        """The price stage splits into ``price.heuristic`` /
+        ``price.baseline`` sub-spans; their seconds are inclusive
+        slices of the price span, so the report attributes the two
+        halves without changing any stage total."""
+        from repro.campaign import clear_baseline_cache
+
+        clear_baseline_cache()  # all baselines priced (and spanned)
+        trace_path = str(tmp_path / "sub.jsonl")
+        _run(grid, tmp_path, "sub", jobs=1, trace=trace_path)
+        trace = load_trace(trace_path)
+        for t in trace["tasks"]:
+            assert "price/price.heuristic" in t["spans"]
+            assert "price/price.baseline" in t["spans"]
+        rows = stage_rows(trace["tasks"])
+        for r in rows:
+            assert r["price_heuristic_seconds"] > 0
+            assert r["price_baseline_seconds"] > 0
+            assert (
+                r["price_heuristic_seconds"] + r["price_baseline_seconds"]
+                <= r["price_seconds"] + 1e-6
+            )
+        totals = stage_totals(trace["tasks"])
+        assert totals["price_heuristic_seconds"] > 0
+        assert totals["price_baseline_seconds"] > 0
+        report = format_stage_breakdown(trace["tasks"])
+        assert "heur_s" in report and "base_s" in report
+
     def test_totals_sum_to_task_seconds(self, grid, tmp_path):
         trace_path = str(tmp_path / "t.jsonl")
         _run(grid, tmp_path, "tot", jobs=1, trace=trace_path)

@@ -1,0 +1,162 @@
+"""Batched whole-group pricing: ``execute_group`` must be bit-identical
+to K per-cell ``execute()`` runs — over rectangular *and* triangular
+corpora, generated workloads, 2-D and 3-D machines.
+
+``CommReport``/``AccessCommStats`` are plain dataclasses with default
+equality, so ``report_a == report_b`` compares every float exactly —
+the comparisons below are bit-identity checks, not tolerance checks.
+"""
+
+import pytest
+
+from repro import compile_nest
+from repro.campaign.workloads import (
+    corpus,
+    generate_triangular_workloads,
+    generate_workloads,
+    triangular_corpus,
+)
+from repro.ir import motivating_example
+from repro.machine import machine_spec
+from repro.runtime import execute, execute_group
+
+#: 2-D grid cells shared by the property tests: two machine models,
+#: square and non-square meshes
+CELLS_2D = [
+    ("paragon", (4, 4)),
+    ("paragon", (3, 2)),
+    ("cm5", (4, 4)),
+    ("cm5", (2, 2)),
+]
+CELLS_3D = [
+    ("t3d", (2, 2, 2)),
+    ("t3d", (3, 2, 2)),
+]
+
+
+def compile_cells(workload, m, grid):
+    """Compile a workload once and fold it onto every (machine, mesh)
+    cell — the campaign's compile-key group invariant."""
+    nest = workload.resolve()
+    schedules = workload.resolve_schedules(nest)
+    params = dict(workload.params)
+    compiled = compile_nest(
+        nest,
+        m=m,
+        schedules=schedules,
+        params=params,
+        check_legality=workload.check_legality,
+        name=workload.name,
+    )
+    cells = []
+    for name, mesh in grid:
+        spec = machine_spec(name)
+        machine = spec.make(mesh)
+        cells.append(
+            (
+                compiled.program(machine, params),
+                machine,
+                spec.make_collectives(mesh),
+            )
+        )
+    return cells
+
+
+def assert_group_matches_per_cell(cells):
+    batched = execute_group(cells)
+    for (program, machine, coll), got in zip(cells, batched):
+        want = execute(program, machine, collectives=coll)
+        assert got == want, (machine, program.folding.mesh.dims)
+
+
+class TestBitIdentityRect:
+    @pytest.mark.parametrize(
+        "workload", corpus(), ids=lambda w: w.name
+    )
+    def test_named_corpus_2d(self, workload):
+        assert_group_matches_per_cell(
+            compile_cells(workload, 2, CELLS_2D)
+        )
+
+    @pytest.mark.parametrize("seed", [0, 1])
+    def test_generated_2d(self, seed):
+        for workload in generate_workloads(seed, 3):
+            assert_group_matches_per_cell(
+                compile_cells(workload, 2, CELLS_2D)
+            )
+
+
+class TestBitIdentityTriangular:
+    @pytest.mark.parametrize(
+        "workload", triangular_corpus(), ids=lambda w: w.name
+    )
+    def test_named_corpus_2d(self, workload):
+        assert_group_matches_per_cell(
+            compile_cells(workload, 2, CELLS_2D)
+        )
+
+    def test_generated_2d(self):
+        for workload in generate_triangular_workloads(0, 3):
+            assert_group_matches_per_cell(
+                compile_cells(workload, 2, CELLS_2D)
+            )
+
+
+class TestBitIdentity3D:
+    def test_generated_t3d(self):
+        for workload in generate_workloads(0, 2):
+            assert_group_matches_per_cell(
+                compile_cells(workload, 3, CELLS_3D)
+            )
+
+    def test_triangular_t3d(self):
+        for workload in generate_triangular_workloads(0, 2):
+            assert_group_matches_per_cell(
+                compile_cells(workload, 3, CELLS_3D)
+            )
+
+
+class TestGroupContract:
+    def test_empty_group(self):
+        assert execute_group([]) == []
+
+    def test_single_cell_delegates_to_execute(self):
+        compiled = compile_nest(motivating_example(), m=2)
+        params = {"N": 8, "M": 8}
+        spec = machine_spec("paragon")
+        machine = spec.make((4, 4))
+        cell = (
+            compiled.program(machine, params),
+            machine,
+            spec.make_collectives((4, 4)),
+        )
+        [got] = execute_group([cell])
+        assert got == execute(cell[0], cell[1], collectives=cell[2])
+
+    def test_mismatched_mappings_rejected(self):
+        params = {"N": 8, "M": 8}
+        spec = machine_spec("paragon")
+        machine = spec.make((4, 4))
+        cells = []
+        for _ in range(2):  # two separate compiles: distinct mappings
+            compiled = compile_nest(motivating_example(), m=2)
+            cells.append(
+                (
+                    compiled.program(machine, params),
+                    machine,
+                    spec.make_collectives((4, 4)),
+                )
+            )
+        with pytest.raises(ValueError, match="share one mapping"):
+            execute_group(cells)
+
+    def test_mismatched_params_rejected(self):
+        compiled = compile_nest(motivating_example(), m=2)
+        spec = machine_spec("paragon")
+        machine = spec.make((4, 4))
+        cells = [
+            (compiled.program(machine, {"N": 8, "M": 8}), machine, None),
+            (compiled.program(machine, {"N": 9, "M": 9}), machine, None),
+        ]
+        with pytest.raises(ValueError, match="size bindings"):
+            execute_group(cells)
