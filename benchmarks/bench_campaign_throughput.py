@@ -44,13 +44,15 @@ from repro.campaign import (
     RunStore,
     clear_baseline_cache,
     clear_compile_cache,
+    compile_cache_stats,
     default_spec,
     run_campaign,
     set_baseline_cache_size,
+    set_compile_cache_dir,
     set_group_pricing,
     summarize_results,
 )
-from repro.campaign.sweep import canonical_json
+from repro.campaign.sweep import canonical_json, group_by_compile_key
 
 SEED = 0
 NESTS = 8
@@ -65,6 +67,13 @@ BASELINE_TASKS_PER_SECOND = 36.04
 SPEEDUP_FLOOR = 3.0
 #: absolute steady-state floor since batched whole-group pricing landed
 TASKS_PER_SECOND_FLOOR = 200.0
+#: cold-run floor with a *warm disk* compile cache (fresh process, no
+#: in-memory caches, every compile a disk hit) — the warm-start regime
+#: of CI re-runs and the future ``repro serve`` daemon
+COLD_TASKS_PER_SECOND_FLOOR = 200.0
+#: the int64 Fourier–Motzkin kernel against the exact Fraction twin,
+#: measured on the FM systems the reference grid's compiles actually run
+FM_INTEGER_SPEEDUP_FLOOR = 3.0
 STRICT = os.environ.get("REPRO_PERF_STRICT", "") == "1"
 
 
@@ -317,4 +326,165 @@ def test_batched_vs_per_cell_speedup(tmp_path, benchmark):
             },
         },
         section="batched_pricing",
+    )
+
+
+def test_cold_compile_disk_cache(tmp_path, benchmark):
+    """The cold-start family: how fast is a *fresh process* campaign
+    with and without a warm persistent compile cache, and how much of
+    the remaining cold compile the integer Fourier–Motzkin kernel saves
+    over the ``Fraction`` baseline.
+
+    Three inline cold runs (in-memory caches cleared before each, so
+    every compile is real): no disk tier, disk tier populating, disk
+    tier warm.  The warm-disk cold run — the regime of CI re-runs and a
+    restarted pricing service — must clear
+    ``COLD_TASKS_PER_SECOND_FLOOR`` under ``REPRO_PERF_STRICT=1``.  The
+    FM comparison replays the exact systems the reference grid's
+    compiles ran, asserts verdict-for-verdict identity, and gates the
+    kernel speedup at ``FM_INTEGER_SPEEDUP_FLOOR``.
+    """
+    spec, tasks = _grid()
+    meta = {"spec_digest": spec.digest()}
+    nests = len({t.compile_key for t in tasks})
+    disk = str(tmp_path / "compile-cache")
+
+    def cold_run(name, disk_dir):
+        clear_compile_cache()
+        clear_baseline_cache()
+        prev = set_compile_cache_dir(disk_dir)
+        t0 = time.perf_counter()
+        try:
+            outcome = run_campaign(
+                tasks, str(tmp_path / f"{name}.jsonl"),
+                CampaignConfig(jobs=1), meta=meta,
+            )
+        finally:
+            set_compile_cache_dir(prev)
+        wall = time.perf_counter() - t0
+        assert outcome.ok == len(tasks) and outcome.errors == 0
+        return outcome, wall, compile_cache_stats()
+
+    nodisk_outcome, nodisk_wall, nodisk_stats = cold_run("nodisk", None)
+    # cold by construction: the in-memory LRU starts empty
+    assert nodisk_outcome.compile_cache_misses == nests
+    assert nodisk_stats["disk_writes"] == 0
+    _, populate_wall, populate_stats = cold_run("populate", disk)
+    assert populate_stats["disk_writes"] == nests
+    warm_outcome, warm_wall, warm_stats = cold_run("warm", disk)
+    # a disk hit is a compile the task never paid: every task reports a
+    # cache hit even though the in-memory LRU started empty
+    assert warm_outcome.compile_cache_hits == len(tasks)
+    assert warm_stats["disk_hits"] == nests
+    assert warm_stats["disk_misses"] == 0
+
+    benchmark(lambda: cold_run("bench", disk))
+
+    cold_tps = len(tasks) / nodisk_wall
+    warm_tps = len(tasks) / warm_wall
+    if warm_tps < COLD_TASKS_PER_SECOND_FLOOR:
+        msg = (
+            f"warm-disk cold campaign ran {warm_tps:.1f} tasks/s, below "
+            f"the {COLD_TASKS_PER_SECOND_FLOOR:.0f}/s cold-start floor"
+        )
+        if STRICT:
+            pytest.fail(msg)
+        warnings.warn(msg + " (non-strict mode: recorded, not failed)")
+
+    # --- integer FM kernel vs the exact Fraction twin -------------------
+    # record every system the reference compiles actually run (memo off
+    # so repeats aren't hidden), then replay both kernels on the corpus
+    from fractions import Fraction
+
+    from repro.campaign.runner import _compile_for_task
+    from repro.ir import dependence as dep
+    from repro.ir import set_dependence_cache_size
+
+    systems = []
+    real = dep._fm_feasible
+
+    def recorder(rows, nvars):
+        systems.append(([list(r) for r in rows], nvars))
+        return real(rows, nvars)
+
+    prev_size = set_dependence_cache_size(0)
+    clear_compile_cache()
+    dep._fm_feasible = recorder
+    try:
+        for group in group_by_compile_key(tasks):
+            _compile_for_task(group[0])
+    finally:
+        dep._fm_feasible = real
+        set_dependence_cache_size(prev_size)
+        clear_compile_cache()
+    assert systems, "reference compiles ran no FM systems"
+
+    frac_systems = [
+        ([(tuple(r[:nv]), r[nv]) for r in rows], nv) for rows, nv in systems
+    ]
+    # best-of-N passes per kernel: the corpus is small enough that a
+    # single sweep is noise-bound, and the floor gates the stable ratio
+    fm_passes = 5
+    frac_seconds = float("inf")
+    for _ in range(fm_passes):
+        t0 = time.perf_counter()
+        frac_verdicts = [
+            dep._fourier_motzkin_fraction(iq, nv) for iq, nv in frac_systems
+        ]
+        frac_seconds = min(frac_seconds, time.perf_counter() - t0)
+    int_seconds = float("inf")
+    for _ in range(fm_passes):
+        t0 = time.perf_counter()
+        int_verdicts = [dep._fm_feasible(rows, nv) for rows, nv in systems]
+        int_seconds = min(int_seconds, time.perf_counter() - t0)
+
+    # bit-identical verdicts over the whole corpus, or the speedup is void
+    assert int_verdicts == frac_verdicts
+    fm_speedup = frac_seconds / int_seconds if int_seconds else 0.0
+    if fm_speedup < FM_INTEGER_SPEEDUP_FLOOR:
+        msg = (
+            f"integer FM kernel speedup {fm_speedup:.2f}x below the "
+            f"{FM_INTEGER_SPEEDUP_FLOOR}x floor over the Fraction "
+            f"baseline ({len(systems)} systems)"
+        )
+        if STRICT:
+            pytest.fail(msg)
+        warnings.warn(msg + " (non-strict mode: recorded, not failed)")
+
+    from _harness import previous_stat, record_bench
+
+    prev_warm = previous_stat(
+        "campaign", "cold_compile", "warm_disk_tasks_per_second"
+    )
+    record_bench(
+        "campaign",
+        {
+            "seed": SEED,
+            "tasks": len(tasks),
+            "unique_compiles": nests,
+            "no_disk_wall_seconds": round(nodisk_wall, 3),
+            "no_disk_tasks_per_second": round(cold_tps, 2),
+            "populate_wall_seconds": round(populate_wall, 3),
+            "warm_disk_wall_seconds": round(warm_wall, 3),
+            "warm_disk_tasks_per_second": round(warm_tps, 2),
+            "warm_disk_tasks_per_second_prev": prev_warm,
+            "warm_disk_tasks_per_second_delta": round(
+                warm_tps - prev_warm, 2
+            ),
+            "warm_disk_speedup_vs_no_disk": round(
+                nodisk_wall / warm_wall, 2
+            ),
+            "cold_tasks_per_second_floor": COLD_TASKS_PER_SECOND_FLOOR,
+            "disk_cache": {
+                "writes": populate_stats["disk_writes"],
+                "hits": warm_stats["disk_hits"],
+                "misses": warm_stats["disk_misses"],
+            },
+            "fm_systems": len(systems),
+            "fm_fraction_seconds": round(frac_seconds, 4),
+            "fm_integer_seconds": round(int_seconds, 4),
+            "fm_integer_speedup": round(fm_speedup, 2),
+            "fm_integer_speedup_floor": FM_INTEGER_SPEEDUP_FLOOR,
+        },
+        section="cold_compile",
     )

@@ -40,6 +40,8 @@ from .runner import (
     baseline_cache_stats,
     clear_baseline_cache,
     clear_compile_cache,
+    code_fingerprint,
+    compile_cache_dir,
     compile_cache_stats,
     crashed_result,
     execute_task,
@@ -47,6 +49,7 @@ from .runner import (
     price_group_batched,
     run_campaign,
     set_baseline_cache_size,
+    set_compile_cache_dir,
     set_compile_cache_size,
     set_group_pricing,
 )
@@ -98,7 +101,10 @@ __all__ = [
     "run_campaign",
     "crashed_result",
     "clear_compile_cache",
+    "code_fingerprint",
+    "compile_cache_dir",
     "compile_cache_stats",
+    "set_compile_cache_dir",
     "set_compile_cache_size",
     "clear_baseline_cache",
     "baseline_cache_stats",

@@ -35,6 +35,7 @@ from ..runner import (
     group_pricing_allowed,
     price_group_batched,
     set_baseline_cache_size,
+    set_compile_cache_dir,
     set_compile_cache_size,
 )
 from ..store import TaskResult
@@ -65,6 +66,9 @@ class ExecutorConfig:
     #: the parent's baseline-price-cache size, passed through the same
     #: way (spawn workers would otherwise reset to the env default)
     baseline_cache_size: Optional[int] = None
+    #: the parent's persistent compile-cache directory (disk tier);
+    #: None leaves the worker's own env-derived setting untouched
+    compile_cache_dir: Optional[str] = None
     #: the parent's array backend name (``repro.machine.backend``);
     #: None leaves the worker's own resolution untouched
     price_backend: Optional[str] = None
@@ -135,6 +139,8 @@ def init_worker(
         set_compile_cache_size(config.compile_cache_size)
     if config.baseline_cache_size is not None:
         set_baseline_cache_size(config.baseline_cache_size)
+    if config.compile_cache_dir is not None:
+        set_compile_cache_dir(config.compile_cache_dir)
     if config.price_backend is not None:
         from ...machine.backend import set_price_backend
 

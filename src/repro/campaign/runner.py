@@ -37,7 +37,11 @@ to a recompile-every-cell run (asserted in
 memory only (``TaskResult.compile_cache_hit``,
 ``CampaignOutcome.compile_cache_hits``).  Knob:
 ``REPRO_CAMPAIGN_COMPILE_CACHE`` (entries per worker, default 32,
-``0`` disables).
+``0`` disables).  An optional **persistent disk tier** underneath the
+LRU (``REPRO_CAMPAIGN_COMPILE_DIR`` / :func:`set_compile_cache_dir`)
+shares compiled workloads across workers *and* runs — atomic pickles
+keyed by ``compile_key`` plus a code-version fingerprint, where stale,
+corrupt or truncated entries are misses, never errors.
 
 Per-task failures never abort the campaign: exceptions become
 ``status="error"`` records, and a per-task wall-clock ``timeout``
@@ -48,7 +52,10 @@ Per-task failures never abort the campaign: exceptions become
 from __future__ import annotations
 
 import hashlib
+import os
+import pickle
 import signal
+import tempfile
 import time
 import traceback
 from collections import OrderedDict
@@ -136,13 +143,18 @@ def set_compile_cache_size(size: int) -> int:
     return prev
 
 
-def compile_cache_stats() -> Dict[str, int]:
-    """Hit/miss counters of *this* process's compile cache."""
+def compile_cache_stats() -> Dict[str, object]:
+    """Hit/miss counters of *this* process's compile cache (both the
+    in-memory LRU and the persistent disk tier)."""
     return {
         "hits": _compile_hits.value,
         "misses": _compile_misses.value,
         "size": len(_compile_cache),
         "maxsize": _compile_cache_size,
+        "disk_hits": _disk_hits.value,
+        "disk_misses": _disk_misses.value,
+        "disk_writes": _disk_writes.value,
+        "dir": _compile_cache_dir,
     }
 
 
@@ -150,14 +162,163 @@ def clear_compile_cache() -> None:
     _compile_cache.clear()
     _compile_hits.reset()
     _compile_misses.reset()
+    _disk_hits.reset()
+    _disk_misses.reset()
+    _disk_writes.reset()
 
 
 obs_metrics.register_provider("campaign.compile_cache", compile_cache_stats)
 
 
+# ---------------------------------------------------------------------------
+# compile stage, disk tier — persistent pickles shared across runs
+# ---------------------------------------------------------------------------
+#
+# The in-memory LRU dies with the process, so every cold campaign, CI
+# run and future ``repro serve`` start re-pays the full compile of every
+# nest.  ``REPRO_CAMPAIGN_COMPILE_DIR`` (or set_compile_cache_dir) names
+# a directory of pickled ``_CompiledWorkload`` entries keyed by
+# ``compile_key`` *and* a fingerprint of the compile pipeline's source,
+# so entries written by older code simply miss by filename.  Writes are
+# atomic (temp file in the target directory + os.replace), which makes
+# the directory safe to share between concurrent workers and runs: a
+# reader sees either a complete entry or none.  Stale, corrupt or
+# truncated entries are misses, never errors — the cache can only make
+# a run faster, not break it.  Stored task records are byte-identical
+# with the tier on or off (asserted in
+# ``tests/campaign/test_compile_disk_cache.py``): the pickle carries the
+# same frozen compile outputs a fresh compile produces.
+
+_compile_cache_dir: Optional[str] = (
+    os.environ.get("REPRO_CAMPAIGN_COMPILE_DIR") or None
+)
+_disk_hits = obs_metrics.counter("campaign.compile_cache.disk_hits")
+_disk_misses = obs_metrics.counter("campaign.compile_cache.disk_misses")
+_disk_writes = obs_metrics.counter("campaign.compile_cache.disk_writes")
+
+_code_fingerprint_cache: Optional[str] = None
+
+#: packages whose source feeds the disk-cache fingerprint — everything
+#: the compile stage's outputs depend on
+_FINGERPRINT_PACKAGES = (
+    "ir",
+    "linalg",
+    "alignment",
+    "baselines",
+    "codegen",
+    "macrocomm",
+)
+
+
+def code_fingerprint() -> str:
+    """Version tag of the compile pipeline: a digest over the source
+    bytes of :mod:`repro.driver` and every compile-relevant package.
+    Baked into disk-cache filenames so any code change invalidates old
+    entries by construction (they miss by name, no load needed)."""
+    global _code_fingerprint_cache
+    if _code_fingerprint_cache is None:
+        root = os.path.dirname(os.path.abspath(__file__))
+        root = os.path.dirname(root)  # .../repro
+        digest = hashlib.sha1()
+        rels = ["driver.py"]
+        for pkg in _FINGERPRINT_PACKAGES:
+            pkg_dir = os.path.join(root, pkg)
+            try:
+                names = sorted(os.listdir(pkg_dir))
+            except OSError:
+                continue
+            rels.extend(
+                os.path.join(pkg, n) for n in names if n.endswith(".py")
+            )
+        for rel in rels:
+            digest.update(rel.encode("utf-8"))
+            try:
+                with open(os.path.join(root, rel), "rb") as fh:
+                    digest.update(fh.read())
+            except OSError:
+                continue
+        _code_fingerprint_cache = digest.hexdigest()[:12]
+    return _code_fingerprint_cache
+
+
+def set_compile_cache_dir(path: Optional[str]) -> Optional[str]:
+    """Point the persistent compile-cache tier at ``path`` (``None``
+    disables); returns the previous directory.  Affects the current
+    process only — the campaign runner threads the setting through
+    executor worker init like the cache sizes, so spawn workers share
+    the parent's directory."""
+    global _compile_cache_dir
+    prev = _compile_cache_dir
+    _compile_cache_dir = path or None
+    return prev
+
+
+def compile_cache_dir() -> Optional[str]:
+    """The active persistent-tier directory (``None`` = disk tier off)."""
+    return _compile_cache_dir
+
+
+def _disk_path(key: str) -> str:
+    return os.path.join(
+        _compile_cache_dir, f"{key}-{code_fingerprint()}.pkl"
+    )
+
+
+def _disk_load(key: str) -> Optional[_CompiledWorkload]:
+    """Read one persistent entry; any failure whatsoever (missing,
+    truncated, corrupt, wrong payload shape, foreign pickle) is a miss."""
+    try:
+        with open(_disk_path(key), "rb") as fh:
+            payload = pickle.load(fh)
+        if (
+            not isinstance(payload, dict)
+            or payload.get("key") != key
+            or payload.get("version") != code_fingerprint()
+        ):
+            return None
+        cw = payload.get("compiled")
+        return cw if isinstance(cw, _CompiledWorkload) else None
+    except Exception:
+        return None
+
+
+def _disk_store(key: str, cw: _CompiledWorkload) -> None:
+    """Atomically persist one compiled workload (temp file + rename in
+    the cache directory, so concurrent writers race benignly: last
+    complete write wins and readers never see a partial file).  Failure
+    to cache is never an error."""
+    try:
+        os.makedirs(_compile_cache_dir, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(
+            dir=_compile_cache_dir, prefix=f".{key}-", suffix=".tmp"
+        )
+        try:
+            with os.fdopen(fd, "wb") as fh:
+                pickle.dump(
+                    {
+                        "key": key,
+                        "version": code_fingerprint(),
+                        "compiled": cw,
+                    },
+                    fh,
+                    protocol=pickle.HIGHEST_PROTOCOL,
+                )
+            os.replace(tmp, _disk_path(key))
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+    except Exception:
+        return
+    _disk_writes.inc()
+
+
 def _compile_for_task(task: SweepTask) -> Tuple[_CompiledWorkload, bool]:
     """The compile stage: two-step heuristic + Feautrier baseline for
-    the task's ``(workload, m, rank_weights)``, LRU-cached per worker.
+    the task's ``(workload, m, rank_weights)``, LRU-cached per worker
+    with an optional persistent disk tier underneath.
     Returns ``(compiled, cache_hit)``."""
     key = task.compile_key
     if _compile_cache_size > 0:
@@ -167,6 +328,16 @@ def _compile_for_task(task: SweepTask) -> Tuple[_CompiledWorkload, bool]:
             _compile_hits.inc()
             return cached, True
     _compile_misses.inc()
+    if _compile_cache_dir is not None:
+        cw = _disk_load(key)
+        if cw is not None:
+            _disk_hits.inc()
+            if _compile_cache_size > 0:
+                _compile_cache[key] = cw
+                while len(_compile_cache) > _compile_cache_size:
+                    _compile_cache.popitem(last=False)
+            return cw, True
+        _disk_misses.inc()
 
     from ..alignment import optimize_residuals
     from ..baselines import feautrier_align
@@ -197,6 +368,8 @@ def _compile_for_task(task: SweepTask) -> Tuple[_CompiledWorkload, bool]:
         _compile_cache[key] = cw
         while len(_compile_cache) > _compile_cache_size:
             _compile_cache.popitem(last=False)
+    if _compile_cache_dir is not None:
+        _disk_store(key, cw)
     return cw, False
 
 
@@ -891,6 +1064,7 @@ def run_campaign(
             mp_context=config.mp_context,
             compile_cache_size=_compile_cache_size,
             baseline_cache_size=_baseline_cache_size,
+            compile_cache_dir=_compile_cache_dir,
             price_backend=_price_backend_name(),
             fault_spec=faults.active_spec(),
             trace=obs_tracing.is_enabled(),

@@ -11,11 +11,14 @@
 from .access import AccessKind, AffineAccess, read, write
 from .dependence import (
     Dependence,
+    clear_dependence_caches,
+    dependence_cache_stats,
     domain_feasible,
     find_dependences,
     gcd_test,
     is_fully_parallel,
     lattice_test,
+    set_dependence_cache_size,
     test_dependence,
 )
 from .domain import Constraint, Domain
@@ -55,6 +58,9 @@ __all__ = [
     "Constraint",
     "Domain",
     "Dependence",
+    "clear_dependence_caches",
+    "dependence_cache_stats",
+    "set_dependence_cache_size",
     "domain_feasible",
     "find_dependences",
     "is_fully_parallel",

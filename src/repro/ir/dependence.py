@@ -22,6 +22,29 @@ direction it reports:
    exactness holds for the rational relaxation and is conservative (may
    report a dependence that only rational points realize, which is
    safe).
+
+Two performance layers sit under the classical tests:
+
+* **Integer Fourier–Motzkin kernel** — every system the lattice-domain
+  tests build has integer entries, so elimination runs over int64 NumPy
+  rows (:func:`_fourier_motzkin_int`): one vectorized integer
+  cross-multiplication per round instead of a ``Fraction`` object per
+  coefficient, per-row GCD normalization to keep magnitudes small, and
+  the packed-key :func:`~repro.machine.backend.unique_rows` dedupe to
+  damp the combination blow-up.  A per-round overflow guard falls back
+  to the kept ``Fraction`` twin (:func:`_fourier_motzkin_fraction`),
+  which remains the bit-identity baseline for the property tests.
+  Systems of up to :data:`_SCALAR_FM_MAX_ROWS` rows — the common case
+  for loop-nest domains — instead run the same integer elimination on
+  plain Python ints (:func:`_fourier_motzkin_scalar`), which beats the
+  ufunc launch overhead at that size and is exact at any magnitude.
+* **Memoization** — :func:`test_dependence` is cached on a canonical
+  ``(F, c, kind, domain, params)`` key through the linalg-cache
+  framework (counters under ``ir.dependence.cache.*``), so schedule
+  inference and legality checking stop re-running identical FM systems
+  within one compile.  Knob: ``REPRO_DEPENDENCE_CACHE`` (entries,
+  default 4096, ``0`` disables); :func:`set_dependence_cache_size` is
+  the process-local override.
 """
 
 from __future__ import annotations
@@ -31,7 +54,14 @@ from fractions import Fraction
 from math import gcd
 from typing import Dict, List, Optional, Sequence, Tuple
 
+import numpy as np
+
+from .._config import env_int
 from ..linalg import IntMat, solve_axb
+from ..linalg.cache import _MISSING, NormalFormCache
+from ..machine.backend import unique_rows
+from ..obs import span
+from ..obs.metrics import register_provider
 from .access import AccessKind, AffineAccess
 from .loopnest import LoopNest, Statement
 
@@ -91,14 +121,172 @@ def lattice_test(f1: IntMat, c1: IntMat, f2: IntMat, c2: IntMat):
 
 Ineq = Tuple[Tuple[Fraction, ...], Fraction]  # coeffs . y <= rhs
 
+#: magnitude bound for the int64 kernel: pivots are entries, so a
+#: combination row entry is at most ``2 * max|entry| ** 2``; past this
+#: the exact ``Fraction`` twin takes over
+_INT64_SAFE = 2 ** 62
 
-def _fourier_motzkin(ineqs: List[Ineq], nvars: int) -> bool:
-    """Rational feasibility of ``A y <= b`` by eliminating variables.
 
-    Returns True iff the polyhedron is non-empty (over Q).
+class _FMOverflow(Exception):
+    """The int64 kernel's next round could overflow; retry exactly."""
+
+
+def _normalize_fm_rows(rows: np.ndarray) -> np.ndarray:
+    """Divide each row ``[coeffs | rhs]`` by the GCD of its entries —
+    equivalence-preserving (the GCD is positive) and the only thing
+    keeping cross-multiplied magnitudes from compounding per round."""
+    g = np.gcd.reduce(np.abs(rows), axis=1)
+    np.maximum(g, 1, out=g)
+    return rows // g[:, None]
+
+
+def _fourier_motzkin_int(rows: np.ndarray, nvars: int) -> bool:
+    """Integer twin of :func:`_fourier_motzkin_fraction`: rational
+    feasibility of ``A y <= b`` over int64 rows ``[coeffs | rhs]``.
+
+    Eliminating ``var`` combines each positive row ``p`` (pivot ``a``)
+    with each negative row ``n`` (pivot ``-b``) as ``p * b + n * a`` —
+    the same inequality ``p/a + n/b`` scaled by the positive ``a * b``,
+    so feasibility verdicts are identical to the ``Fraction`` kernel.
+    Raises :class:`_FMOverflow` when a round's products could leave
+    int64 range.
+    """
+    # one-time dead-row sweep: a row with no variables demanding
+    # ``0 <= negative`` proves infeasibility outright.  Afterwards every
+    # system row provably has a nonzero coefficient in a not-yet
+    # eliminated column — combination rows are alive-filtered (and
+    # negativity-checked) at creation, carried-over rows by definition —
+    # so no per-round re-check is ever needed.
+    dead = ~rows[:, :nvars].any(axis=1)
+    if bool(dead.any()):
+        if bool((rows[dead, -1] < 0).any()):
+            return False
+        rows = rows[~dead]
+    system = rows
+    for var in range(nvars):
+        if system.shape[0] <= 1:
+            return True  # zero or one live inequality: always feasible
+        col = system[:, var]
+        pos_mask = col > 0
+        neg_mask = col < 0
+        if bool(pos_mask.any()) and bool(neg_mask.any()):
+            pos = system[pos_mask]
+            neg = system[neg_mask]
+            a = pos[:, var]
+            b = -neg[:, var]
+            m = int(np.abs(system).max())
+            if 2 * m * m >= _INT64_SAFE:
+                raise _FMOverflow()
+            combined = (
+                pos[:, None, :] * b[None, :, None]
+                + neg[None, :, :] * a[:, None, None]
+            ).reshape(-1, system.shape[1])
+            combined[:, var] = 0
+            alive = combined[:, :nvars].any(axis=1)
+            if not bool(alive.all()):
+                # early-exit: a fully-eliminated combination demanding
+                # ``0 <= negative`` settles the verdict immediately
+                # (including infeasibility created by the last round)
+                if bool((combined[~alive, -1] < 0).any()):
+                    return False
+                combined = combined[alive]
+            # normalize and dedupe: combinations breed duplicate
+            # inequalities quadratically per round (tiny sets skip the
+            # dedupe — its fixed cost exceeds the saving)
+            combined = _normalize_fm_rows(combined)
+            if combined.shape[0] > 4:
+                combined = unique_rows(combined)[0]
+            rest = system[~(pos_mask | neg_mask)]
+            system = (
+                np.concatenate([rest, combined], axis=0)
+                if rest.shape[0]
+                else combined
+            )
+        else:
+            # no opposing pair: var is unbounded on one side, every row
+            # mentioning it is satisfiable and projects out
+            system = system[~(pos_mask | neg_mask)]
+    if not system.shape[0]:
+        return True
+    return not bool((system[:, -1] < 0).any())
+
+
+#: below this many rows the vectorized kernel loses to ufunc launch
+#: overhead; the scalar integer twin takes over (Python ints are
+#: arbitrary precision, so it needs no overflow guard at all)
+_SCALAR_FM_MAX_ROWS = 32
+
+
+def _fourier_motzkin_scalar(rows: Sequence[Sequence[int]], nvars: int) -> bool:
+    """Scalar twin of :func:`_fourier_motzkin_int` on Python ints.
+
+    Same combination rule (``p * b + n * a``), same per-row GCD
+    normalization, same early exits — but no NumPy, which on systems of
+    a dozen rows costs more in per-call overhead than the arithmetic it
+    vectorizes.  Exact at any magnitude, so unlike the int64 kernel it
+    never defers to the ``Fraction`` baseline.
+    """
+    system = []
+    for r in rows:
+        if any(r[:nvars]):
+            system.append(tuple(r))
+        elif r[nvars] < 0:
+            return False  # 0 <= negative: contradictory from the start
+    for var in range(nvars):
+        if len(system) <= 1:
+            return True  # zero or one live inequality: always feasible
+        pos, neg, rest = [], [], []
+        for r in system:
+            c = r[var]
+            if c > 0:
+                pos.append(r)
+            elif c < 0:
+                neg.append(r)
+            else:
+                rest.append(r)
+        if pos and neg:
+            new = rest
+            for p in pos:
+                a = p[var]
+                for n in neg:
+                    b = -n[var]
+                    row = [x * b + y * a for x, y in zip(p, n)]
+                    row[var] = 0
+                    if any(row[:nvars]):
+                        g = 0
+                        for x in row:
+                            g = gcd(g, x)
+                        if g > 1:
+                            row = [x // g for x in row]
+                        new.append(tuple(row))
+                    elif row[nvars] < 0:
+                        # fully eliminated and contradictory: settled
+                        return False
+            # dedupe to damp the quadratic blow-up (tiny sets skip it)
+            system = list(dict.fromkeys(new)) if len(new) > 4 else new
+        else:
+            # no opposing pair: var is unbounded on one side, every row
+            # mentioning it is satisfiable and projects out
+            system = rest
+    # every surviving row was alive-filtered, so nothing contradictory
+    # can remain once all variables are gone
+    return True
+
+
+def _fourier_motzkin_fraction(ineqs: List[Ineq], nvars: int) -> bool:
+    """Rational feasibility of ``A y <= b`` by eliminating variables
+    with exact ``Fraction`` arithmetic — the bit-identity baseline the
+    int64 kernel is property-tested against, and the fallback when the
+    overflow guard trips.
     """
     system = [([Fraction(x) for x in coeffs], Fraction(rhs)) for coeffs, rhs in ineqs]
     for var in range(nvars):
+        # early-exit before combining: an already-contradictory row
+        # (no variables, negative rhs) ends the search — this also
+        # covers infeasibility present before the *last* round, which
+        # the historical kernel only checked after combining
+        if any(all(x == 0 for x in c) and r < 0 for c, r in system):
+            return False
         pos, neg, rest = [], [], []
         for coeffs, rhs in system:
             c = coeffs[var]
@@ -128,7 +316,78 @@ def _fourier_motzkin(ineqs: List[Ineq], nvars: int) -> bool:
         if any(all(x == 0 for x in c) and r < 0 for c, r in system):
             return False
     # all variables eliminated: feasible iff no 0 <= negative row remains
-    return not any(r < 0 for _, r in system if True)
+    return not any(r < 0 for _, r in system)
+
+
+def _fm_feasible(rows: Sequence[Sequence[int]], nvars: int) -> bool:
+    """Rational feasibility of the integer system ``A y <= b`` given as
+    ``[coeffs..., rhs]`` rows: the scalar integer kernel below the
+    row-count threshold, the vectorized int64 kernel when every entry
+    fits, the exact ``Fraction`` twin otherwise (or when the int64
+    kernel's per-round overflow guard trips mid-elimination)."""
+    if not rows:
+        return True
+    if len(rows) <= _SCALAR_FM_MAX_ROWS:
+        return _fourier_motzkin_scalar(rows, nvars)
+    try:
+        arr = np.array(rows, dtype=np.int64)
+    except OverflowError:  # an entry beyond int64 entirely
+        arr = None
+    if (
+        arr is not None
+        and int(arr.max()) < _INT64_SAFE
+        and int(arr.min()) > -_INT64_SAFE
+    ):
+        try:
+            return _fourier_motzkin_int(arr, nvars)
+        except _FMOverflow:
+            pass
+    return _fourier_motzkin_fraction(
+        [(tuple(row[:nvars]), row[nvars]) for row in rows], nvars
+    )
+
+
+def _fourier_motzkin(ineqs: List[Ineq], nvars: int) -> bool:
+    """Rational feasibility of ``A y <= b`` (historical entry point).
+
+    Integer systems — which is everything the lattice-domain tests
+    build — dispatch to the int64 kernel; genuinely fractional input
+    keeps the exact ``Fraction`` path.
+    """
+    rows: List[List[int]] = []
+    for coeffs, rhs in ineqs:
+        row = list(coeffs) + [rhs]
+        if not all(
+            isinstance(x, int)
+            or (isinstance(x, Fraction) and x.denominator == 1)
+            for x in row
+        ):
+            return _fourier_motzkin_fraction(ineqs, nvars)
+        rows.append([int(x) for x in row])
+    return _fm_feasible(rows, nvars)
+
+
+def _lattice_rows(
+    part: Sequence[int],
+    hom_cols: Sequence[Sequence[int]],
+    point_ineqs: Sequence[Tuple[Sequence[int], int]],
+) -> List[List[int]]:
+    """Shared system builder for the lattice-domain tests.
+
+    ``point_ineqs`` constrain the *stacked point dimensions*: each
+    ``(coeffs, off)`` means ``coeffs . point + off >= 0``.  Substituting
+    ``point = part + H y`` turns it into the integer FM row
+    ``(-coeffs . H) y <= coeffs . part + off``.
+    """
+    rows: List[List[int]] = []
+    for coeffs, off in point_ineqs:
+        row = [
+            -sum(a * h[i] for i, a in enumerate(coeffs) if a)
+            for h in hom_cols
+        ]
+        row.append(sum(a * p for a, p in zip(coeffs, part) if a) + off)
+        rows.append(row)
+    return rows
 
 
 def bounds_test(
@@ -152,14 +411,16 @@ def bounds_test(
     assert len(part) == depth1 + depth2 == len(all_bounds)
     if nvars == 0:
         return all(lo <= p <= hi for p, (lo, hi) in zip(part, all_bounds))
-    ineqs: List[Ineq] = []
+    ndims = len(all_bounds)
+    point_ineqs: List[Tuple[List[int], int]] = []
     for i, (lo, hi) in enumerate(all_bounds):
-        row = [Fraction(h[i]) for h in hom_cols]
-        # part_i + row . y <= hi
-        ineqs.append((tuple(row), Fraction(hi - part[i])))
-        # -(part_i + row . y) <= -lo
-        ineqs.append((tuple(-x for x in row), Fraction(part[i] - lo)))
-    return _fourier_motzkin(ineqs, nvars)
+        hi_row = [0] * ndims
+        hi_row[i] = -1  # hi - point_i >= 0
+        point_ineqs.append((hi_row, hi))
+        lo_row = [0] * ndims
+        lo_row[i] = 1  # point_i - lo >= 0
+        point_ineqs.append((lo_row, -lo))
+    return _fm_feasible(_lattice_rows(part, hom_cols, point_ineqs), nvars)
 
 
 def domain_feasible(sol, s1: Statement, s2: Statement, params: Dict[str, int]) -> bool:
@@ -181,29 +442,85 @@ def domain_feasible(sol, s1: Statement, s2: Statement, params: Dict[str, int]) -
         return s1.domain.contains(part[:d1], params) and s2.domain.contains(
             part[d1:], params
         )
-    ineqs: List[Ineq] = []
+    ndims = len(part)
+    point_ineqs: List[Tuple[List[int], int]] = []
     for dom, offset in ((s1.domain, 0), (s2.domain, d1)):
         for con in dom.constraints:
-            # a . I + off >= 0 with I = part_slice + H_slice y
-            # =>  (-a . H_slice) y <= a . part_slice + off
-            rhs = Fraction(
-                sum(
-                    a * part[offset + i]
-                    for i, a in enumerate(con.var_coeffs)
-                )
-                + con.offset(params)
-            )
-            coeffs = tuple(
-                Fraction(
-                    -sum(
-                        a * h[offset + i]
-                        for i, a in enumerate(con.var_coeffs)
-                    )
-                )
-                for h in hom_cols
-            )
-            ineqs.append((coeffs, rhs))
-    return _fourier_motzkin(ineqs, nvars)
+            # a . I + off >= 0 over this statement's slice of the point
+            coeffs = [0] * ndims
+            for i, a in enumerate(con.var_coeffs):
+                coeffs[offset + i] = a
+            point_ineqs.append((coeffs, con.offset(params)))
+    return _fm_feasible(_lattice_rows(part, hom_cols, point_ineqs), nvars)
+
+
+# ---------------------------------------------------------------------------
+# memo caches — test_dependence and schedule inference
+# ---------------------------------------------------------------------------
+
+DEFAULT_DEPENDENCE_CACHE_SIZE = env_int("REPRO_DEPENDENCE_CACHE", 4096)
+
+_dependence_cache_size: int = DEFAULT_DEPENDENCE_CACHE_SIZE
+#: counters live under ``ir.dependence.cache.<name>.{hits,misses}``
+_dep_cache = NormalFormCache(
+    "test_dependence",
+    maxsize=max(DEFAULT_DEPENDENCE_CACHE_SIZE, 1),
+    namespace="ir.dependence.cache",
+)
+#: the ``_inner_loops_parallel`` memo (owned here so one knob governs
+#: both; filled by :mod:`repro.ir.schedule`)
+_schedule_cache = NormalFormCache(
+    "inner_loops_parallel",
+    maxsize=max(DEFAULT_DEPENDENCE_CACHE_SIZE, 1),
+    namespace="ir.dependence.cache",
+)
+
+
+def dependence_cache_enabled() -> bool:
+    return _dependence_cache_size > 0
+
+
+def set_dependence_cache_size(size: int) -> int:
+    """Resize (``0`` disables) the dependence/schedule memo caches;
+    returns the previous size.  Resizing clears both caches, so results
+    can never be served across a semantics-affecting reconfiguration."""
+    global _dependence_cache_size
+    prev = _dependence_cache_size
+    _dependence_cache_size = int(size)
+    for cache in (_dep_cache, _schedule_cache):
+        cache.clear()
+        if _dependence_cache_size > 0:
+            cache.maxsize = _dependence_cache_size
+    return prev
+
+
+def clear_dependence_caches() -> None:
+    """Empty both memo caches and reset their counters."""
+    _dep_cache.clear()
+    _schedule_cache.clear()
+
+
+def dependence_cache_stats() -> Dict[str, Dict[str, int]]:
+    """``{cache name: {hits, misses, size, maxsize}}`` for the
+    dependence-analysis memo caches of this process."""
+    return {
+        "test_dependence": _dep_cache.stats(),
+        "inner_loops_parallel": _schedule_cache.stats(),
+    }
+
+
+register_provider("ir.dependence.cache", dependence_cache_stats)
+
+
+def _domain_key(s: Statement):
+    """Canonical hashable key of a statement's iteration domain — the
+    constraint tuple (frozen dataclasses) plus depth; names don't enter
+    the dependence verdict."""
+    return (s.depth, s.domain.constraints)
+
+
+def _params_key(params: Dict[str, int]) -> Tuple[Tuple[str, int], ...]:
+    return tuple(sorted(params.items()))
 
 
 # ---------------------------------------------------------------------------
@@ -233,11 +550,56 @@ def test_dependence(
     Returns the dependence kind string when a dependence may exist, or
     ``None`` when it is disproved.  ``params`` binds symbolic sizes for
     the bounds test.
+
+    The verdict is a pure function of the access matrices, kinds, the
+    two domains and the parameter binding, so it is memoized on that
+    canonical key (see the module docstring) — schedule inference and
+    legality checks re-ask the same questions many times per compile.
     """
     if a1.array != a2.array:
         return None
     if a1.kind is AccessKind.READ and a2.kind is AccessKind.READ:
         return None  # input "dependences" don't constrain parallelism
+    if not dependence_cache_enabled():
+        return _test_dependence_uncached(
+            s1, a1, s2, a2, params, same_statement_distinct
+        )
+    key = (
+        a1.F,
+        a1.c,
+        a1.kind,
+        a2.F,
+        a2.c,
+        a2.kind,
+        _domain_key(s1),
+        _domain_key(s2),
+        s1 is s2 and a1 is a2,
+        same_statement_distinct,
+        _params_key(params),
+    )
+    value = _dep_cache.get(key)
+    if value is _MISSING:
+        value = _test_dependence_uncached(
+            s1, a1, s2, a2, params, same_statement_distinct
+        )
+        _dep_cache.put(key, value)
+    return value
+
+
+def _test_dependence_uncached(
+    s1: Statement,
+    a1: AffineAccess,
+    s2: Statement,
+    a2: AffineAccess,
+    params: Dict[str, int],
+    same_statement_distinct: bool = True,
+) -> Optional[str]:
+    """The memo-free dependence test (the bit-identity baseline the
+    memoized entry is tested against)."""
+    if a1.array != a2.array:
+        return None
+    if a1.kind is AccessKind.READ and a2.kind is AccessKind.READ:
+        return None
     if not gcd_test(a1.F, a1.c, a2.F, a2.c):
         return None
     sol = lattice_test(a1.F, a1.c, a2.F, a2.c)
@@ -268,20 +630,21 @@ def _has_distinct_solution(sol, depth: int) -> bool:
 def find_dependences(nest: LoopNest, params: Dict[str, int]) -> List[Dependence]:
     """All (conservatively) existing non-input dependences of the nest."""
     out: List[Dependence] = []
-    pairs = nest.all_accesses()
-    for i, (s1, a1) in enumerate(pairs):
-        for s2, a2 in pairs[i:]:
-            kind = test_dependence(s1, a1, s2, a2, params)
-            if kind is not None:
-                out.append(
-                    Dependence(
-                        array=a1.array,
-                        source=s1.name,
-                        sink=s2.name,
-                        kind=kind,
-                        proven=False,
+    with span("compile.dependence"):
+        pairs = nest.all_accesses()
+        for i, (s1, a1) in enumerate(pairs):
+            for s2, a2 in pairs[i:]:
+                kind = test_dependence(s1, a1, s2, a2, params)
+                if kind is not None:
+                    out.append(
+                        Dependence(
+                            array=a1.array,
+                            source=s1.name,
+                            sink=s2.name,
+                            kind=kind,
+                            proven=False,
+                        )
                     )
-                )
     return out
 
 

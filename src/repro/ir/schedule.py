@@ -18,7 +18,14 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..linalg import FracMat, IntMat
-from .dependence import find_dependences
+from ..linalg.cache import _MISSING
+from ..obs import span
+from .dependence import (
+    _params_key,
+    _schedule_cache,
+    dependence_cache_enabled,
+    find_dependences,
+)
 from .loopnest import LoopNest, Statement
 
 
@@ -123,7 +130,36 @@ def infer_schedules(nest: LoopNest, params: Dict[str, int]) -> ScheduledNest:
     return outer_sequential_schedules(nest, max_depth)
 
 
+def _nest_key(nest: LoopNest):
+    """Canonical hashable key of a nest's dependence-relevant content:
+    per-statement depth, domain constraints and access list (order
+    preserved — the self-pair identity checks are positional).
+    Statement names don't enter any verdict."""
+    return tuple(
+        (s.depth, s.domain.constraints, tuple(s.accesses))
+        for s in nest.statements
+    )
+
+
 def _inner_loops_parallel(nest: LoopNest, params: Dict[str, int], outer: int) -> bool:
+    """Memoized per ``(nest, params, level)`` through the dependence
+    memo framework (``ir.dependence.cache.inner_loops_parallel.*``
+    counters): :func:`infer_schedules` probes levels 1..depth of the
+    same nest, and campaign grids re-infer identical nests once per
+    knob value."""
+    if not dependence_cache_enabled():
+        return _inner_loops_parallel_uncached(nest, params, outer)
+    key = (_nest_key(nest), _params_key(params), outer)
+    value = _schedule_cache.get(key)
+    if value is _MISSING:
+        value = _inner_loops_parallel_uncached(nest, params, outer)
+        _schedule_cache.put(key, value)
+    return value
+
+
+def _inner_loops_parallel_uncached(
+    nest: LoopNest, params: Dict[str, int], outer: int
+) -> bool:
     """Check that all dependences are carried by (or preserved within)
     the first ``outer`` loops: for each dependence witness lattice,
     require equal outer indices => equal full indices would be exact;
@@ -138,36 +174,39 @@ def _inner_loops_parallel(nest: LoopNest, params: Dict[str, int], outer: int) ->
     from .dependence import domain_feasible
 
     pairs = nest.all_accesses()
-    for i, (s1, a1) in enumerate(pairs):
-        for s2, a2 in pairs[i:]:
-            if a1.array != a2.array:
-                continue
-            from .access import AccessKind
-
-            if a1.kind is AccessKind.READ and a2.kind is AccessKind.READ:
-                continue
-            k = min(outer, s1.depth, s2.depth)
-            # stacked system: F1 I1 - F2 I2 = c2 - c1  and  I1[j] = I2[j]
-            f1, f2 = a1.F, a2.F
-            eq_rows = []
-            for j in range(k):
-                row = [0] * (s1.depth + s2.depth)
-                row[j] = 1
-                row[s1.depth + j] = -1
-                eq_rows.append(row)
-            a = f1.hstack(-1 * f2)
-            full = IntMat(a.tolist() + eq_rows)
-            rhs_entries = [(a2.c - a1.c)[r, 0] for r in range(a1.F.nrows)] + [0] * k
-            sol = solve_axb(full, IntMat.col(rhs_entries))
-            if sol is None:
-                continue
-            if not domain_feasible(sol, s1, s2, params):
-                continue
-            # same-instance solutions of a single access are not deps
-            if s1 is s2 and a1 is a2:
-                from .dependence import _has_distinct_solution
-
-                if not _has_distinct_solution(sol, s1.depth):
+    with span("compile.dependence"):
+        for i, (s1, a1) in enumerate(pairs):
+            for s2, a2 in pairs[i:]:
+                if a1.array != a2.array:
                     continue
-            return False
+                from .access import AccessKind
+
+                if a1.kind is AccessKind.READ and a2.kind is AccessKind.READ:
+                    continue
+                k = min(outer, s1.depth, s2.depth)
+                # stacked system: F1 I1 - F2 I2 = c2 - c1, I1[j] = I2[j]
+                f1, f2 = a1.F, a2.F
+                eq_rows = []
+                for j in range(k):
+                    row = [0] * (s1.depth + s2.depth)
+                    row[j] = 1
+                    row[s1.depth + j] = -1
+                    eq_rows.append(row)
+                a = f1.hstack(-1 * f2)
+                full = IntMat(a.tolist() + eq_rows)
+                rhs_entries = [
+                    (a2.c - a1.c)[r, 0] for r in range(a1.F.nrows)
+                ] + [0] * k
+                sol = solve_axb(full, IntMat.col(rhs_entries))
+                if sol is None:
+                    continue
+                if not domain_feasible(sol, s1, s2, params):
+                    continue
+                # same-instance solutions of a single access aren't deps
+                if s1 is s2 and a1 is a2:
+                    from .dependence import _has_distinct_solution
+
+                    if not _has_distinct_solution(sol, s1.depth):
+                        continue
+                return False
     return True

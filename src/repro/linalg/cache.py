@@ -46,22 +46,29 @@ class NormalFormCache:
     """A small LRU cache with hit/miss accounting.
 
     Hit/miss counts live in the observability metrics registry
-    (:mod:`repro.obs.metrics`) under ``linalg.cache.<name>.{hits,misses}``
-    so one ``obs.snapshot()`` sees every cache; ``.hits`` / ``.misses``
-    remain plain-int properties for existing callers and tests.
+    (:mod:`repro.obs.metrics`) under ``<namespace>.<name>.{hits,misses}``
+    — ``linalg.cache`` by default, overridable so other subsystems (the
+    dependence-analysis memos count under ``ir.dependence.cache``) reuse
+    the same LRU/accounting machinery; ``.hits`` / ``.misses`` remain
+    plain-int properties for existing callers and tests.
     """
 
     __slots__ = ("name", "maxsize", "_hits", "_misses", "_data")
 
-    def __init__(self, name: str, maxsize: Optional[int] = None):
+    def __init__(
+        self,
+        name: str,
+        maxsize: Optional[int] = None,
+        namespace: str = "linalg.cache",
+    ):
         self.name = name
         self.maxsize = (
             DEFAULT_LINALG_CACHE_SIZE if maxsize is None else int(maxsize)
         )
         if self.maxsize <= 0:
             raise ValueError("cache size must be positive")
-        self._hits = _obs_counter(f"linalg.cache.{self.name}.hits")
-        self._misses = _obs_counter(f"linalg.cache.{self.name}.misses")
+        self._hits = _obs_counter(f"{namespace}.{self.name}.hits")
+        self._misses = _obs_counter(f"{namespace}.{self.name}.misses")
         # a (re)created cache starts empty, so its counters restart too
         self._hits.reset()
         self._misses.reset()

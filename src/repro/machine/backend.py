@@ -115,12 +115,14 @@ def unique_rows(stacked: np.ndarray):
 
     ``np.unique(..., axis=0)`` compares rows as opaque byte strings,
     which makes its sort the single hottest call of a batched pricing
-    run.  Rows here are small non-negative ints (cell ids, phase times,
-    mesh coordinates), so each row packs into one int64 key whose scalar
-    order equals the row's lexicographic order — a 1-D unique over the
-    keys returns the same rows in the same order and the same counts,
-    roughly an order of magnitude faster.  Rows that cannot pack (a
-    negative value, or > 63 key bits) fall back to the axis unique.
+    run.  Rows here are small ints (cell ids, phase times, mesh
+    coordinates — and the Fourier–Motzkin kernel's signed inequality
+    rows), so after shifting each column by its minimum every row packs
+    into one int64 key whose scalar order equals the row's
+    lexicographic order — a 1-D unique over the keys returns the same
+    rows in the same order and the same counts, roughly an order of
+    magnitude faster.  Rows that cannot pack (> 63 key bits of
+    per-column span) fall back to the axis unique.
 
     This is the one group-by the batched pricing path runs per label —
     routing it (and only it) through the backend keeps every float cost
@@ -132,21 +134,26 @@ def unique_rows(stacked: np.ndarray):
     n, ncols = arr.shape
     if n and ncols and np.issubdtype(np.dtype(arr.dtype), np.integer):
         mins = to_host(arr.min(axis=0))
-        if int(mins.min()) >= 0:
-            maxs = to_host(arr.max(axis=0))
-            bits = [max(int(m).bit_length(), 1) for m in maxs]
-            if sum(bits) <= 63:
-                keys = arr[:, 0].astype(xp.int64)
-                for j in range(1, ncols):
-                    keys = (keys << bits[j]) | arr[:, j]
-                ukeys, counts = xp.unique(keys, return_counts=True)
-                cols = []
-                for j in range(ncols - 1, 0, -1):
-                    cols.append(ukeys & ((1 << bits[j]) - 1))
-                    ukeys = ukeys >> bits[j]
-                cols.append(ukeys)
-                uniq = xp.stack(cols[::-1], axis=1)
-                return to_host(uniq), to_host(counts)
+        maxs = to_host(arr.max(axis=0))
+        # per-column spans as exact Python ints: the shifted values are
+        # non-negative and the bit-width check can't itself overflow
+        spans = [int(hi) - int(lo) for lo, hi in zip(mins, maxs)]
+        bits = [max(s.bit_length(), 1) for s in spans]
+        if sum(bits) <= 63:
+            shifted = arr - xp.asarray(mins.astype(np.int64))
+            keys = shifted[:, 0].astype(xp.int64)
+            for j in range(1, ncols):
+                keys = (keys << bits[j]) | shifted[:, j]
+            ukeys, counts = xp.unique(keys, return_counts=True)
+            cols = []
+            for j in range(ncols - 1, 0, -1):
+                cols.append(ukeys & ((1 << bits[j]) - 1))
+                ukeys = ukeys >> bits[j]
+            cols.append(ukeys)
+            uniq = xp.stack(cols[::-1], axis=1) + xp.asarray(
+                mins.astype(np.int64)
+            )
+            return to_host(uniq), to_host(counts)
     if xp is np:
         return np.unique(stacked, axis=0, return_counts=True)
     uniq, counts = xp.unique(arr, axis=0, return_counts=True)

@@ -130,5 +130,14 @@ class TestUnifiedSurfaces:
         from repro.campaign import compile_cache_stats
 
         stats = compile_cache_stats()
-        assert set(stats) == {"hits", "misses", "size", "maxsize"}
+        assert set(stats) == {
+            "hits",
+            "misses",
+            "size",
+            "maxsize",
+            "disk_hits",
+            "disk_misses",
+            "disk_writes",
+            "dir",
+        }
         assert metrics.snapshot()["campaign.compile_cache"] == stats
