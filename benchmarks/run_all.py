@@ -71,7 +71,12 @@ the top-10 hotspot list, and since the cold-compile fast path landed
 (integer FM kernel + dependence memoization) it asserts that pricing,
 not the compile stage, owns the cold profile — compile cumulative time
 below batched pricing and every Fraction-FM helper out of the top-10
-(exit 1 if either compile-side regression ever returns).
+(exit 1 if either compile-side regression ever returns).  Since the
+fused segmented pricing kernels it further asserts the per-phase
+pricing entry points (``_price_phase`` / ``phase_time_arrays``) stay
+below ``PHASE_CALL_CEILING`` calls and ``phase_times_segmented``
+actually ran — the call-count record lands in the same artifact
+(``per_phase_pricing_calls`` / ``segmented_kernel_launches``).
 """
 
 from __future__ import annotations
@@ -88,6 +93,12 @@ SRC_DIR = os.path.join(os.path.dirname(BENCH_DIR), "src")
 
 #: hotspot rows kept in BENCH_profile.json
 PROFILE_TOP_N = 30
+
+#: ceiling on per-phase pricing entry calls (`_price_phase` +
+#: `phase_time_arrays`) in the reference profile — ~1,300 before the
+#: fused segmented kernels, ~0 after (the slack covers exact-magnitude
+#: fallbacks and custom-model duck-typing, not a path regression)
+PHASE_CALL_CEILING = 48
 
 
 def run_profile(top_n: int = PROFILE_TOP_N) -> int:
@@ -155,6 +166,19 @@ def run_profile(top_n: int = PROFILE_TOP_N) -> int:
     compile_ct = by_name.get("_compile_for_task", {}).get("cumtime_s", 0.0)
     price_ct = by_name.get("price_group_batched", {}).get("cumtime_s", 0.0)
 
+    # full-stats call counts (not just the top rows) for the fused
+    # pricing gate: per-phase pricing entry points vs kernel launches
+    def _ncalls(fn_name: str) -> int:
+        return sum(
+            nc
+            for (_f, _l, name), (_cc, nc, *_rest) in stats.stats.items()
+            if name == fn_name
+        )
+
+    per_phase_calls = _ncalls("_price_phase")
+    phase_array_calls = _ncalls("phase_time_arrays")
+    kernel_launches = _ncalls("phase_times_segmented")
+
     from _harness import record_bench
 
     record_bench(
@@ -170,6 +194,10 @@ def run_profile(top_n: int = PROFILE_TOP_N) -> int:
             "top_n": top_n,
             "compile_stage_cumtime_s": compile_ct,
             "pricing_stage_cumtime_s": price_ct,
+            "per_phase_pricing_calls": per_phase_calls,
+            "phase_time_arrays_calls": phase_array_calls,
+            "segmented_kernel_launches": kernel_launches,
+            "per_phase_pricing_call_ceiling": PHASE_CALL_CEILING,
             "hotspots": rows,
         },
     )
@@ -238,6 +266,38 @@ def run_profile(top_n: int = PROFILE_TOP_N) -> int:
     print(
         "gate ok: pricing owns the cold profile "
         f"(compile {compile_ct:.3f}s < pricing {price_ct:.3f}s cumulative)"
+    )
+
+    # the PR-10 regression gate: fused segmented pricing collapsed this
+    # scenario's ~1,300 per-phase pricing calls (`_price_phase` +
+    # `phase_time_arrays`) into a few hundred whole-label kernel
+    # launches.  The per-phase entry points must stay below a small
+    # constant — anything more means labels are leaking back onto the
+    # per-phase path (a fallback misfire or a dropped
+    # `time_phases_segmented` surface) and the cold-throughput gate in
+    # bench_campaign_throughput.py is living on borrowed time.
+    if per_phase_calls + phase_array_calls > PHASE_CALL_CEILING:
+        print(
+            f"FAIL: {per_phase_calls} _price_phase + {phase_array_calls} "
+            "phase_time_arrays calls in the reference profile, above the "
+            f"ceiling of {PHASE_CALL_CEILING} — fused segmented pricing "
+            "has regressed to per-phase calls (see BENCH_profile.json)",
+            file=sys.stderr,
+        )
+        return 1
+    if kernel_launches == 0:
+        print(
+            "FAIL: phase_times_segmented never ran in the reference "
+            "profile — the fused pricing path is not engaged "
+            "(see BENCH_profile.json)",
+            file=sys.stderr,
+        )
+        return 1
+    print(
+        "gate ok: fused pricing engaged "
+        f"({kernel_launches} segmented kernel launches, "
+        f"{per_phase_calls + phase_array_calls} per-phase calls <= "
+        f"{PHASE_CALL_CEILING})"
     )
     return 0
 

@@ -26,9 +26,11 @@ from .backend import (
 from .contention import (
     CostParams,
     PhaseReport,
+    SegmentedPhaseReport,
     phase_time,
     phase_time_arrays,
     phase_time_python,
+    phase_times_segmented,
     phased_time,
     total_time,
 )
@@ -74,9 +76,11 @@ __all__ = [
     "Message",
     "CostParams",
     "PhaseReport",
+    "SegmentedPhaseReport",
     "phase_time",
     "phase_time_arrays",
     "phase_time_python",
+    "phase_times_segmented",
     "phased_time",
     "total_time",
     "BACKEND_ENV",

@@ -109,9 +109,11 @@ def to_host(arr) -> np.ndarray:
     return np.asarray(arr)
 
 
-def unique_rows(stacked: np.ndarray):
+def unique_rows(stacked: np.ndarray, return_inverse: bool = False):
     """``np.unique(stacked, axis=0, return_counts=True)`` on the active
-    backend, results on host.
+    backend, results on host.  With ``return_inverse`` the row -> unique
+    index map rides along (packed keys sort exactly like the rows, so
+    the inverse is the same one the axis unique would return).
 
     ``np.unique(..., axis=0)`` compares rows as opaque byte strings,
     which makes its sort the single hottest call of a batched pricing
@@ -144,7 +146,12 @@ def unique_rows(stacked: np.ndarray):
             keys = shifted[:, 0].astype(xp.int64)
             for j in range(1, ncols):
                 keys = (keys << bits[j]) | shifted[:, j]
-            ukeys, counts = xp.unique(keys, return_counts=True)
+            if return_inverse:
+                ukeys, inverse, counts = xp.unique(
+                    keys, return_inverse=True, return_counts=True
+                )
+            else:
+                ukeys, counts = xp.unique(keys, return_counts=True)
             cols = []
             for j in range(ncols - 1, 0, -1):
                 cols.append(ukeys & ((1 << bits[j]) - 1))
@@ -153,11 +160,70 @@ def unique_rows(stacked: np.ndarray):
             uniq = xp.stack(cols[::-1], axis=1) + xp.asarray(
                 mins.astype(np.int64)
             )
+            if return_inverse:
+                return (
+                    to_host(uniq),
+                    to_host(counts),
+                    np.asarray(to_host(inverse)).ravel(),
+                )
             return to_host(uniq), to_host(counts)
     if xp is np:
+        if return_inverse:
+            uniq, inverse, counts = np.unique(
+                stacked, axis=0, return_inverse=True, return_counts=True
+            )
+            return uniq, counts, np.asarray(inverse).ravel()
         return np.unique(stacked, axis=0, return_counts=True)
+    if return_inverse:
+        uniq, inverse, counts = xp.unique(
+            arr, axis=0, return_inverse=True, return_counts=True
+        )
+        return to_host(uniq), to_host(counts), np.asarray(to_host(inverse)).ravel()
     uniq, counts = xp.unique(arr, axis=0, return_counts=True)
     return to_host(uniq), to_host(counts)
+
+
+def segment_max(values: np.ndarray, segment_ids: np.ndarray, n_segments: int):
+    """Per-segment maximum of ``values`` grouped by ``segment_ids``
+    (dense ``(n_segments,)`` output, ``0`` for empty segments — the
+    identity of every quantity the contention kernel reduces: link
+    loads, hop counts, sender fanouts are all non-negative).
+
+    The scatter-max of the fused pricing kernel: numpy uses
+    ``np.maximum.at``; a device backend uses ``cupyx.scatter_max``
+    (duck-typed, imported lazily alongside cupy) with a host fallback.
+    """
+    xp = array_namespace()
+    if xp is np:
+        out = np.zeros(n_segments, dtype=np.asarray(values).dtype)
+        np.maximum.at(out, segment_ids, values)
+        return out
+    try:  # pragma: no cover - exercised only with cupy installed
+        import cupyx
+
+        out = xp.zeros(n_segments, dtype=xp.asarray(values).dtype)
+        cupyx.scatter_max(out, xp.asarray(segment_ids), xp.asarray(values))
+        return to_host(out)
+    except Exception:  # pragma: no cover
+        vals = to_host(values)
+        out = np.zeros(n_segments, dtype=np.asarray(vals).dtype)
+        np.maximum.at(out, to_host(segment_ids), vals)
+        return out
+
+
+def weighted_bincount(
+    keys: np.ndarray, weights: np.ndarray, minlength: int
+) -> np.ndarray:
+    """``np.bincount(keys, weights, minlength)`` on the active backend,
+    result on host — the load-accumulation primitive of the fused
+    segmented pricing kernel (float64 sums; callers guard exactness)."""
+    xp = array_namespace()
+    if xp is np:
+        return np.bincount(keys, weights=weights, minlength=minlength)
+    out = xp.bincount(  # pragma: no cover - device backends only
+        xp.asarray(keys), weights=xp.asarray(weights), minlength=minlength
+    )
+    return to_host(out)  # pragma: no cover
 
 
 def backend_stats() -> Dict[str, object]:

@@ -29,11 +29,12 @@ changed nothing (the two are bit-identical; see
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Sequence
+from typing import Dict, Iterable, List, Optional, Sequence
 
 import numpy as np
 
-from .routecache import max_link_load, route_cache_for
+from .backend import segment_max, unique_rows, weighted_bincount
+from .routecache import gather_route_ids, max_link_load, route_cache_for
 from .topology import Link, Mesh2D, Message
 
 
@@ -162,7 +163,7 @@ def phase_time_arrays(
         sizes = sizes[nonlocal_mask]
     remote = senders.shape[0]
     if remote:
-        _, fan_counts = np.unique(senders, axis=0, return_counts=True)
+        _, fan_counts = unique_rows(senders)
         max_fanout = int(fan_counts.max())
         max_hops = int(np.abs(receivers - senders).sum(axis=1).max())
     else:
@@ -187,6 +188,212 @@ def phase_time_arrays(
         total_messages=remote,
         total_volume=sum(size_list),
         local_messages=local,
+    )
+
+
+@dataclass
+class SegmentedPhaseReport:
+    """Per-segment timing breakdown of a fused multi-phase pricing
+    call: every field is an ``(S,)`` array, one entry per phase segment
+    (:func:`phase_times_segmented`).  :meth:`report` rebuilds the exact
+    :class:`PhaseReport` of one segment — the surface the bit-identity
+    property suite compares against the per-phase path."""
+
+    times: np.ndarray
+    max_link_load: np.ndarray
+    max_hops: np.ndarray
+    max_msgs_per_sender: np.ndarray
+    total_messages: np.ndarray
+    total_volume: np.ndarray
+    local_messages: np.ndarray
+
+    def __len__(self) -> int:
+        return self.times.shape[0]
+
+    def report(self, i: int) -> PhaseReport:
+        return PhaseReport(
+            time=float(self.times[i]),
+            max_link_load=int(self.max_link_load[i]),
+            max_hops=int(self.max_hops[i]),
+            max_msgs_per_sender=int(self.max_msgs_per_sender[i]),
+            total_messages=int(self.total_messages[i]),
+            total_volume=int(self.total_volume[i]),
+            local_messages=int(self.local_messages[i]),
+        )
+
+
+#: dense per-(phase, link) load matrices are capped at this many cells;
+#: larger phase x link products take the compressed-key path instead
+_DENSE_LOAD_CELLS = 1 << 22
+
+#: float64 integer arithmetic is exact below this (same bound as
+#: :func:`~repro.machine.routecache.max_link_load`)
+_EXACT_F64 = 2 ** 53
+
+
+def _segmented_exact_fallback(
+    mesh, senders, receivers, sizes, phase_ids, params, cache, n_phases
+) -> "SegmentedPhaseReport":
+    """Pathological-magnitude fallback: price each segment through the
+    per-phase :func:`phase_time_arrays` exact path and stack the
+    reports (bit-identical at any magnitude, never fast)."""
+    reports = []
+    for s in range(n_phases):
+        m = phase_ids == s
+        reports.append(
+            phase_time_arrays(
+                mesh, senders[m], receivers[m], sizes[m], params, cache
+            )
+        )
+    return SegmentedPhaseReport(
+        times=np.array([r.time for r in reports], dtype=np.float64),
+        max_link_load=np.array([r.max_link_load for r in reports], dtype=np.int64),
+        max_hops=np.array([r.max_hops for r in reports], dtype=np.int64),
+        max_msgs_per_sender=np.array(
+            [r.max_msgs_per_sender for r in reports], dtype=np.int64
+        ),
+        total_messages=np.array([r.total_messages for r in reports], dtype=np.int64),
+        total_volume=np.array([r.total_volume for r in reports], dtype=np.int64),
+        local_messages=np.array([r.local_messages for r in reports], dtype=np.int64),
+    )
+
+
+def phase_times_segmented(
+    mesh,
+    senders: np.ndarray,
+    receivers: np.ndarray,
+    sizes: np.ndarray,
+    phase_ids: np.ndarray,
+    params: CostParams,
+    cache=None,
+    n_phases: Optional[int] = None,
+) -> SegmentedPhaseReport:
+    """Fused :func:`phase_time_arrays` over many phases in one call.
+
+    All messages of all phases enter together: ``senders``/``receivers``
+    are ``(n, rank)`` int64 coordinate rows, ``sizes`` the message
+    sizes, and ``phase_ids`` an int64 segment column assigning each row
+    to its phase (ids in ``[0, n_phases)``; segments may be empty).
+    One kernel prices every segment:
+
+    * per-link loads come from a single weighted ``bincount`` over the
+      combined key ``phase_id * num_links + link_id``, with the link
+      ids of all routes gathered at once from the route cache
+      (:func:`~repro.machine.routecache.gather_route_ids`);
+    * per-segment max-fanout / max-hops / max-load are scatter-max
+      (``np.maximum.at``-style) reductions;
+    * the :class:`CostParams` cost formula evaluates vectorized across
+      all segments.
+
+    Bit-identical to calling :func:`phase_time_arrays` once per segment
+    (property-tested in ``tests/runtime/test_segmented_pricing.py``):
+    every sum stays in exact float64 integer range — the conservative
+    magnitude guard falls back to the per-phase exact path otherwise —
+    and the final ``alpha*fanout + beta*load + gamma*hops`` arithmetic
+    performs the same IEEE operations in the same order.  The group-by
+    and scatter reductions route through the
+    ``REPRO_PRICE_BACKEND`` array namespace
+    (:mod:`repro.machine.backend`), so the CuPy knob covers this hot
+    path too.
+    """
+    if cache is None:
+        cache = route_cache_for(mesh)
+    senders = np.asarray(senders, dtype=np.int64)
+    receivers = np.asarray(receivers, dtype=np.int64)
+    sizes = np.asarray(sizes, dtype=np.int64)
+    phase_ids = np.asarray(phase_ids, dtype=np.int64)
+    n = senders.shape[0]
+    if n_phases is None:
+        n_phases = int(phase_ids.max()) + 1 if n else 0
+    zeros_i = np.zeros(n_phases, dtype=np.int64)
+    if n == 0 or n_phases == 0:
+        return SegmentedPhaseReport(
+            times=np.zeros(n_phases, dtype=np.float64),
+            max_link_load=zeros_i,
+            max_hops=zeros_i.copy(),
+            max_msgs_per_sender=zeros_i.copy(),
+            total_messages=zeros_i.copy(),
+            total_volume=zeros_i.copy(),
+            local_messages=zeros_i.copy(),
+        )
+
+    nonlocal_mask = np.any(senders != receivers, axis=1)
+    local_messages = np.bincount(
+        phase_ids[~nonlocal_mask], minlength=n_phases
+    ).astype(np.int64)
+    if not nonlocal_mask.all():
+        senders = senders[nonlocal_mask]
+        receivers = receivers[nonlocal_mask]
+        sizes = sizes[nonlocal_mask]
+        phase_ids = phase_ids[nonlocal_mask]
+    remote = senders.shape[0]
+    if remote == 0:
+        return SegmentedPhaseReport(
+            times=np.zeros(n_phases, dtype=np.float64),
+            max_link_load=zeros_i,
+            max_hops=zeros_i.copy(),
+            max_msgs_per_sender=zeros_i.copy(),
+            total_messages=zeros_i.copy(),
+            total_volume=zeros_i.copy(),
+            local_messages=local_messages,
+        )
+
+    hops = np.abs(receivers - senders).sum(axis=1)
+    # conservative exactness bound on every float64 partial sum (per
+    # (phase, link) load, per-phase volume); the max possible hop count
+    # bounds the route lengths without materializing them first
+    max_size = int(sizes.max())
+    max_route = int(hops.max()) + 2
+    if max_size < 0 or max_size * max_route * remote > _EXACT_F64:
+        return _segmented_exact_fallback(
+            mesh, senders, receivers, sizes, phase_ids, params, cache, n_phases
+        )
+
+    total_messages = np.bincount(phase_ids, minlength=n_phases).astype(np.int64)
+    total_volume = weighted_bincount(
+        phase_ids, sizes.astype(np.float64), n_phases
+    ).astype(np.int64)
+    max_hops = segment_max(hops, phase_ids, n_phases)
+
+    # max messages per sender, per segment: one group-by over the
+    # (phase, sender) key, then a scatter-max of the group counts
+    fan_rows = np.concatenate((phase_ids[:, None], senders), axis=1)
+    ufan, fan_counts = unique_rows(fan_rows)
+    max_fanout = segment_max(fan_counts.astype(np.int64), ufan[:, 0], n_phases)
+
+    # bottleneck link load per segment: one weighted bincount over the
+    # combined (phase, link) key
+    flat_ids, lens = gather_route_ids(cache, senders, receivers)
+    num_links = cache.num_links
+    keys = np.repeat(phase_ids, lens) * num_links + flat_ids
+    weights = np.repeat(sizes, lens).astype(np.float64)
+    if n_phases * num_links <= _DENSE_LOAD_CELLS:
+        loads = weighted_bincount(keys, weights, n_phases * num_links)
+        max_load = (
+            loads.reshape(n_phases, num_links).max(axis=1).astype(np.int64)
+        )
+    else:
+        ukeys, inv = np.unique(keys, return_inverse=True)
+        sums = weighted_bincount(
+            np.asarray(inv).ravel(), weights, ukeys.shape[0]
+        )
+        max_load = segment_max(
+            sums.astype(np.int64), ukeys // num_links, n_phases
+        )
+
+    times = (
+        params.alpha * max_fanout.astype(np.float64)
+        + params.beta * max_load.astype(np.float64)
+        + params.gamma * max_hops.astype(np.float64)
+    )
+    return SegmentedPhaseReport(
+        times=times,
+        max_link_load=max_load,
+        max_hops=max_hops,
+        max_msgs_per_sender=max_fanout,
+        total_messages=total_messages,
+        total_volume=total_volume,
+        local_messages=local_messages,
     )
 
 

@@ -36,11 +36,15 @@ import math
 from dataclasses import dataclass, field
 from typing import List, Sequence
 
+import numpy as np
+
 from .contention import (
     CostParams,
     PhaseReport,
+    SegmentedPhaseReport,
     phase_time,
     phase_time_arrays,
+    phase_times_segmented,
     phased_time,
     total_time,
 )
@@ -69,6 +73,20 @@ class ParagonModel:
         group executor probes for (duck-typed; bit-identical)."""
         return phase_time_arrays(
             self.mesh, senders, receivers, sizes, self.params
+        )
+
+    def time_phases_segmented(
+        self, senders, receivers, sizes, phase_ids, n_phases=None
+    ) -> SegmentedPhaseReport:
+        """Fused multi-phase :meth:`time_phase_arrays`: all phases of a
+        pricing call enter as one coordinate matrix plus an int64
+        segment column and are priced by one kernel
+        (:func:`~repro.machine.contention.phase_times_segmented`) —
+        the surface the segmented executor probes for (duck-typed;
+        bit-identical to per-phase pricing)."""
+        return phase_times_segmented(
+            self.mesh, senders, receivers, sizes, phase_ids, self.params,
+            n_phases=n_phases,
         )
 
     def time_phases(self, phases: Sequence[Sequence[Message]]) -> float:
@@ -132,6 +150,15 @@ class T3DModel:
         """Array-native :meth:`time_phase`, as on the 2-D model."""
         return phase_time_arrays(
             self.mesh, senders, receivers, sizes, self.params
+        )
+
+    def time_phases_segmented(
+        self, senders, receivers, sizes, phase_ids, n_phases=None
+    ) -> SegmentedPhaseReport:
+        """Fused multi-phase pricing on the cube, as on the 2-D model."""
+        return phase_times_segmented(
+            self.mesh, senders, receivers, sizes, phase_ids, self.params,
+            n_phases=n_phases,
         )
 
     def time_phases(self, phases) -> float:
@@ -199,6 +226,21 @@ class CM5Model:
         """Hardware broadcast: same tree, slightly more per-element
         traffic (every node receives the payload)."""
         return self.hw_cycle * self.tree_depth + 1.2 * self.ctl_per_elem * size
+
+    def macro_times_segmented(self, kind: str, sizes) -> np.ndarray:
+        """Vectorized collective pricing: the time of one ``kind``
+        collective per entry of ``sizes`` (the macro/collective segment
+        lane of the fused pricing path).  Performs the same IEEE float
+        operations in the same order as :meth:`reduction_time` /
+        :meth:`broadcast_time`, so each entry is bit-identical to the
+        scalar call."""
+        sizes = np.asarray(sizes, dtype=np.int64).astype(np.float64)
+        if kind == "reduction":
+            return self.hw_cycle * self.tree_depth + self.ctl_per_elem * sizes
+        return (
+            self.hw_cycle * self.tree_depth
+            + 1.2 * self.ctl_per_elem * sizes
+        )
 
     def translation_time(self, size: int = 100) -> float:
         """Uniform shift: a contention-free permutation on the data

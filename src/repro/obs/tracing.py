@@ -76,10 +76,11 @@ _NOOP = _NoopSpan()
 
 
 class _Span:
-    __slots__ = ("name", "_t0")
+    __slots__ = ("name", "count", "_t0")
 
-    def __init__(self, name: str):
+    def __init__(self, name: str, count: int = 1):
         self.name = name
+        self.count = count
 
     def __enter__(self):
         _local.stack.append(self.name)
@@ -91,29 +92,36 @@ class _Span:
         stack = _local.stack
         path = SEP.join(stack)
         stack.pop()
+        c = self.count
         with _lock:
             for buf in _captures:
                 entry = buf.get(path)
                 if entry is None:
-                    buf[path] = [1, dt]
+                    buf[path] = [c, dt]
                 else:
-                    entry[0] += 1
+                    entry[0] += c
                     entry[1] += dt
             entry = _aggregate.get(path)
             if entry is None:
-                _aggregate[path] = [1, dt]
+                _aggregate[path] = [c, dt]
             else:
-                entry[0] += 1
+                entry[0] += c
                 entry[1] += dt
         return False
 
 
-def span(name: str):
+def span(name: str, count: int = 1):
     """A context manager timing one named stage (no-op when tracing is
-    disabled — the check is one module-flag read)."""
+    disabled — the check is one module-flag read).
+
+    ``count`` is what the span's exit adds to its path's call counter
+    (default 1).  Fused spans use it to keep logical-unit accounting:
+    one ``exec.segmented`` kernel call pricing 37 phases records
+    ``count=37``, so stage reports keep counting *phases*, not kernel
+    launches, after the fusion."""
     if not _enabled:
         return _NOOP
-    return _Span(name)
+    return _Span(name, count)
 
 
 def traced(name: Optional[str] = None) -> Callable:

@@ -8,14 +8,24 @@ model.
 """
 
 from .executor import (
+    SEGMENTED_ENV,
     AccessCommStats,
     CommReport,
     count_nonlocal_virtual,
     execute,
     execute_group,
     execute_python,
+    segmented_pricing_enabled,
+    set_segmented_pricing,
 )
-from .mapping import CommBatch, CommEvent, Folding, MappedProgram
+from .mapping import (
+    CommBatch,
+    CommEvent,
+    Folding,
+    MappedProgram,
+    PhaseSegments,
+    build_phase_segments,
+)
 
 __all__ = [
     "Folding",
@@ -24,8 +34,13 @@ __all__ = [
     "CommEvent",
     "CommReport",
     "AccessCommStats",
+    "PhaseSegments",
+    "build_phase_segments",
     "execute",
     "execute_group",
     "execute_python",
     "count_nonlocal_virtual",
+    "SEGMENTED_ENV",
+    "segmented_pricing_enabled",
+    "set_segmented_pricing",
 ]

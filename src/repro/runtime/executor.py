@@ -37,10 +37,39 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from .._config import env_flag
 from ..machine import CM5Model, MachineModel, Message
 from ..machine.backend import unique_rows
 from ..obs import span, traced
-from .mapping import CommBatch, CommEvent, MappedProgram
+from .mapping import (
+    CommBatch,
+    CommEvent,
+    MappedProgram,
+    PhaseSegments,
+    build_phase_segments,
+    segments_from_sorted_unique,
+)
+
+#: environment knob: fused segmented pricing (default on); the
+#: per-phase path is kept as the bit-identity baseline
+SEGMENTED_ENV = "REPRO_SEGMENTED_PRICING"
+
+_segmented = env_flag(SEGMENTED_ENV, True)
+
+
+def set_segmented_pricing(on: bool) -> bool:
+    """Toggle the fused segmented pricing path (returns the previous
+    flag).  Off routes every label through the kept per-phase
+    ``_price_phase`` baseline — the bit-identity twin the property
+    suite and the ``fused_pricing`` benchmark compare against."""
+    global _segmented
+    prev = _segmented
+    _segmented = bool(on)
+    return prev
+
+
+def segmented_pricing_enabled() -> bool:
+    return _segmented
 
 
 @dataclass
@@ -155,6 +184,86 @@ def _price_phase(
     return rep.time
 
 
+def _price_label_segmented(
+    program: MappedProgram,
+    machine: MachineModel,
+    collectives: Optional[CM5Model],
+    st: AccessCommStats,
+    label: str,
+    seg: PhaseSegments,
+    payload: int,
+    rank: int,
+) -> List[float]:
+    """Price every phase of one label in one fused call.
+
+    ``seg`` holds all phases as one phase-major unique-pair matrix plus
+    segment offsets; the machine's ``time_phases_segmented`` kernel
+    (Paragon/T3D presets) prices all segments at once, macro labels go
+    down the vectorized collective lane.  Returns the **per-phase**
+    times in phase order — callers fold them into their running totals
+    one phase at a time, preserving the exact float accumulation
+    sequence of the per-phase path, so ``CommReport`` totals stay
+    bit-identical.
+
+    The per-phase ``_price_phase`` loop is kept as the bit-identity
+    baseline (``set_segmented_pricing(False)``) and as the duck-typed
+    fallback for custom registered models that only expose
+    ``time_phase`` / ``time_phase_arrays``.
+    """
+    n_phases = seg.n_phases
+    if n_phases == 0:
+        return []
+    is_macro = collectives is not None and st.classification == "macro"
+    fn = getattr(machine, "time_phases_segmented", None)
+    if not _segmented or (fn is None and not is_macro):
+        starts = seg.starts
+        return [
+            _price_phase(
+                program, machine, collectives, st, label,
+                int(seg.n_events[i]),
+                seg.pairs[int(starts[i]): int(starts[i + 1])],
+                seg.counts[int(starts[i]): int(starts[i + 1])],
+                payload, rank,
+            )
+            for i in range(n_phases)
+        ]
+
+    sizes = seg.counts * payload
+    st.messages_before_vectorization += int(seg.n_events.sum())
+    st.messages_after_vectorization += seg.pairs.shape[0]
+    st.volume += int(sizes.sum())
+    with span("exec.segmented", count=n_phases):
+        if is_macro:
+            opt = program.mapping.residual_by_label(label)
+            kind = opt.macro.kind.value if opt.macro else "broadcast"
+            seg_sizes = np.maximum.reduceat(sizes, seg.starts[:-1])
+            vfn = getattr(collectives, "macro_times_segmented", None)
+            if vfn is not None:
+                times = vfn(kind, seg_sizes)
+            elif kind == "reduction":
+                times = np.array(
+                    [collectives.reduction_time(int(s)) for s in seg_sizes]
+                )
+            else:
+                times = np.array(
+                    [collectives.broadcast_time(int(s)) for s in seg_sizes]
+                )
+            st.macro_ops += n_phases
+        else:
+            srep = fn(
+                seg.pairs[:, :rank],
+                seg.pairs[:, rank:],
+                sizes,
+                seg.phase_ids(),
+                n_phases,
+            )
+            times = srep.times
+    ts = times.tolist()
+    for t in ts:
+        st.time += t
+    return ts
+
+
 def _price_label_mixed(
     program: MappedProgram,
     machine: MachineModel,
@@ -164,23 +273,31 @@ def _price_label_mixed(
     chunks: Sequence[Tuple[np.ndarray, np.ndarray]],
     payload: int,
     rank: int,
-) -> float:
+) -> List[float]:
     """One label spanning statements with different schedule
-    dimensionalities: bucket by time tuple like the python path
-    (mixed-width rows cannot concatenate)."""
-    total = 0.0
+    dimensionalities: mixed-width time rows cannot concatenate, so
+    bucket by time tuple like the python path — but normalize the
+    phases to one int64 *bucket index* column so all phases still price
+    through one segmented call.  Returns per-phase times like
+    :func:`_price_label_segmented`."""
     buckets: Dict[Tuple[int, ...], List[List[int]]] = {}
     for t_arr, p_arr in chunks:
         for trow, prow in zip(t_arr.tolist(), p_arr.tolist()):
             buckets.setdefault(tuple(trow), []).append(prow)
-    for tkey in sorted(buckets):
-        sel = np.array(buckets[tkey], dtype=np.int64)
-        upairs, counts = unique_rows(sel)
-        total += _price_phase(
-            program, machine, collectives, st, label,
-            sel.shape[0], upairs, counts, payload, rank,
+    blocks = []
+    for i, tkey in enumerate(sorted(buckets)):
+        rows = np.array(buckets[tkey], dtype=np.int64)
+        blocks.append(
+            np.concatenate(
+                (np.full((rows.shape[0], 1), i, dtype=np.int64), rows),
+                axis=1,
+            )
         )
-    return total
+    stacked = np.concatenate(blocks, axis=0)
+    seg = build_phase_segments(stacked[:, 1:], stacked[:, :1])
+    return _price_label_segmented(
+        program, machine, collectives, st, label, seg, payload, rank
+    )
 
 
 def execute(
@@ -241,41 +358,34 @@ def execute(
         vec = _vectorizable(program, label)
         if len(blist) == 1:
             # one batch owns the label (the common case): price its
-            # memoized phase partition directly
-            for n_events, upairs, counts in blist[0].phase_partition(vec):
-                total_time += _price_phase(
-                    program, machine, collectives, st, label,
-                    n_events, upairs, counts, payload, rank,
-                )
+            # memoized phase partition in one fused call
+            for t in _price_label_segmented(
+                program, machine, collectives, st, label,
+                blist[0].phase_partition(vec), payload, rank,
+            ):
+                total_time += t
             continue
         chunks = [
             (b.times[b.locality_masks()[2]], b.send_pairs()) for b in blist
         ]
+        if not vec and len({t.shape[1] for t, _ in chunks}) > 1:
+            for t in _price_label_mixed(
+                program, machine, collectives, st, label,
+                chunks, payload, rank,
+            ):
+                total_time += t
+            continue
         pairs = np.concatenate([p for _, p in chunks], axis=0)
         if vec:
             # vectorization merges all time steps into one phase
-            upairs, counts = unique_rows(pairs)
-            total_time += _price_phase(
-                program, machine, collectives, st, label,
-                pairs.shape[0], upairs, counts, payload, rank,
-            )
-            continue
-        if len({t.shape[1] for t, _ in chunks}) > 1:
-            total_time += _price_label_mixed(
-                program, machine, collectives, st, label,
-                chunks, payload, rank,
-            )
-            continue
-        times = np.concatenate([t for t, _ in chunks], axis=0)
-        utimes, inverse = np.unique(times, axis=0, return_inverse=True)
-        inverse = np.asarray(inverse).ravel()
-        for k in range(utimes.shape[0]):
-            sel = pairs[inverse == k]
-            upairs, counts = unique_rows(sel)
-            total_time += _price_phase(
-                program, machine, collectives, st, label,
-                sel.shape[0], upairs, counts, payload, rank,
-            )
+            seg = build_phase_segments(pairs)
+        else:
+            times = np.concatenate([t for t, _ in chunks], axis=0)
+            seg = build_phase_segments(pairs, times)
+        for t in _price_label_segmented(
+            program, machine, collectives, st, label, seg, payload, rank,
+        ):
+            total_time += t
 
     total_messages = sum(
         s.messages_after_vectorization for s in per_access.values()
@@ -385,10 +495,11 @@ def execute_group(
                     (b.times[b.locality_masks()[2]], b.send_pairs())
                     for b in per_cell[k]
                 ]
-                totals[k] += _price_label_mixed(
+                for t in _price_label_mixed(
                     programs[k], cells[k][1], cells[k][2],
                     per_access[k][label], label, chunks, payload, rank,
-                )
+                ):
+                    totals[k] += t
             continue
 
         # stack all cells' rows as [cell | (time) | sender | receiver]
@@ -406,25 +517,37 @@ def execute_group(
                 n_events_cell[k] += pairs.shape[0]
         stacked = np.concatenate(blocks, axis=0)
         uniq, counts = unique_rows(stacked)
-
-        # segment boundaries where the (cell[, time]) prefix changes;
-        # within a segment the unique rows are the phase's lex-sorted
-        # coalesced pairs, exactly what the per-cell np.unique yields
-        prefix = uniq[:, : 1 + tw]
         if uniq.shape[0] == 0:
             continue
-        change = np.nonzero(np.any(prefix[1:] != prefix[:-1], axis=1))[0]
-        starts = np.concatenate(([0], change + 1, [uniq.shape[0]]))
-        for s, e in zip(starts[:-1], starts[1:]):
-            k = int(uniq[s, 0])
-            upairs = uniq[s:e, 1 + tw:]
-            seg_counts = counts[s:e]
-            n_events = n_events_cell[k] if vec else int(seg_counts.sum())
-            totals[k] += _price_phase(
+
+        # cell blocks are contiguous (the cell id is the sort-major
+        # column); within a block the rows are ``[time | pair]``-sorted,
+        # exactly the segment layout the fused kernel consumes — one
+        # segmented pricing call per (cell, label)
+        cell_col = uniq[:, 0]
+        cell_change = np.nonzero(cell_col[1:] != cell_col[:-1])[0]
+        cell_starts = np.concatenate(([0], cell_change + 1, [uniq.shape[0]]))
+        for cs, ce in zip(cell_starts[:-1], cell_starts[1:]):
+            k = int(cell_col[cs])
+            if vec:
+                # one phase per cell: vectorization merged all times
+                seg = PhaseSegments(
+                    pairs=uniq[cs:ce, 1:],
+                    counts=counts[cs:ce],
+                    starts=np.array([0, ce - cs], dtype=np.int64),
+                    n_events=np.array([n_events_cell[k]], dtype=np.int64),
+                )
+            else:
+                seg = segments_from_sorted_unique(
+                    uniq[cs:ce, 1 + tw:],
+                    counts[cs:ce],
+                    uniq[cs:ce, 1: 1 + tw],
+                )
+            for t in _price_label_segmented(
                 programs[k], cells[k][1], cells[k][2],
-                per_access[k][label], label,
-                n_events, upairs, seg_counts, payload, rank,
-            )
+                per_access[k][label], label, seg, payload, rank,
+            ):
+                totals[k] += t
 
     reports: List[CommReport] = []
     for k in range(K):

@@ -181,6 +181,102 @@ class CommEvent:
 
 
 @dataclass
+class PhaseSegments:
+    """Segment-id layout of one label's priced phases — the input of
+    the fused segmented pricing kernel.
+
+    The coalesced ``(sender | receiver)`` rows of **all** phases sit in
+    one phase-major matrix; ``starts`` delimits the segments (phase
+    ``i`` owns rows ``starts[i]:starts[i+1]``, in the same ascending
+    time order — and with the same lex-sorted rows per phase — that the
+    per-phase ``np.unique`` group-bys used to produce one sub-array at
+    a time).  ``counts`` carries each unique pair's multiplicity,
+    ``n_events`` each phase's pre-coalescing event count.
+    """
+
+    #: (U, 2*rank) unique coalesced pair rows of all phases, phase-major
+    pairs: np.ndarray
+    #: (U,) multiplicity of each unique pair within its phase
+    counts: np.ndarray
+    #: (S+1,) segment offsets into ``pairs``/``counts``
+    starts: np.ndarray
+    #: (S,) events per phase before pair coalescing
+    n_events: np.ndarray
+
+    @property
+    def n_phases(self) -> int:
+        return self.starts.shape[0] - 1
+
+    def phase_ids(self) -> np.ndarray:
+        """The ``(U,)`` int64 segment column (``pairs`` row -> phase id),
+        memoized."""
+        ids = self.__dict__.get("_phase_ids")
+        if ids is None:
+            ids = np.repeat(
+                np.arange(self.n_phases, dtype=np.int64),
+                np.diff(self.starts),
+            )
+            self.__dict__["_phase_ids"] = ids
+        return ids
+
+
+def build_phase_segments(
+    pairs: np.ndarray, times: Optional[np.ndarray] = None
+) -> PhaseSegments:
+    """Group raw ``(sender | receiver)`` event rows into the
+    :class:`PhaseSegments` layout with **one** ``unique_rows`` call.
+
+    With ``times`` (one row per event), events group into one phase per
+    distinct time vector: the combined ``[time | pair]`` unique sorts
+    time-major, so segment boundaries are where the time prefix changes
+    — phases come out in ascending time order with lex-sorted unique
+    pairs and their multiplicities, exactly what a per-phase
+    ``np.unique`` group-by produced.  Without ``times`` (vectorizable
+    access, or a width-0 schedule) every event lands in one phase.
+    """
+    n = pairs.shape[0]
+    if times is None or times.shape[1] == 0:
+        upairs, counts = unique_rows(pairs)
+        return PhaseSegments(
+            pairs=upairs,
+            counts=counts,
+            starts=np.array([0, upairs.shape[0]], dtype=np.int64),
+            n_events=np.array([n], dtype=np.int64),
+        )
+    tw = times.shape[1]
+    stacked = np.concatenate((times, pairs), axis=1)
+    uniq, counts = unique_rows(stacked)
+    return segments_from_sorted_unique(uniq[:, tw:], counts, uniq[:, :tw])
+
+
+def segments_from_sorted_unique(
+    pairs: np.ndarray, counts: np.ndarray, prefix: np.ndarray
+) -> PhaseSegments:
+    """:class:`PhaseSegments` from already-uniqued rows: ``pairs`` and
+    ``counts`` sorted so that equal ``prefix`` rows (the phase key) are
+    contiguous.  Used directly by the batched group executor, which
+    uniques one ``[cell | time | pair]`` tensor for all K cells and
+    slices per-cell blocks out of it."""
+    u = pairs.shape[0]
+    if u == 0:
+        return PhaseSegments(
+            pairs=pairs,
+            counts=counts,
+            starts=np.zeros(1, dtype=np.int64),
+            n_events=np.empty(0, dtype=np.int64),
+        )
+    if prefix.shape[1] == 0:
+        starts = np.array([0, u], dtype=np.int64)
+    else:
+        change = np.nonzero(np.any(prefix[1:] != prefix[:-1], axis=1))[0]
+        starts = np.concatenate(([0], change + 1, [u])).astype(np.int64)
+    n_events = np.add.reduceat(counts, starts[:-1]).astype(np.int64)
+    return PhaseSegments(
+        pairs=pairs, counts=counts, starts=starts, n_events=n_events
+    )
+
+
+@dataclass
 class CommBatch:
     """Dense array form of one access's element communications.
 
@@ -255,38 +351,30 @@ class CommBatch:
             self.__dict__["_send_pairs"] = pairs
         return pairs
 
-    def phase_partition(
-        self, vectorizable: bool
-    ) -> List[Tuple[int, np.ndarray, np.ndarray]]:
-        """The batch's send events grouped into priced phases:
-        ``[(n_events, unique_pairs, counts)]`` in phase order.
+    def phase_partition(self, vectorizable: bool) -> PhaseSegments:
+        """The batch's send events grouped into priced phases, in the
+        segment-id layout (:class:`PhaseSegments`) the fused pricing
+        kernel consumes — no per-phase sub-arrays are materialized.
 
         Vectorizable accesses merge every time step into one phase;
-        otherwise phases follow ``np.unique`` time order (ascending,
-        matching the per-event path's sorted bucket keys).  Memoized
-        per ``vectorizable`` flag — the 1534-unique-calls-per-run
-        profile hotspot collapses to one extraction per batch.
+        otherwise phases follow ascending time order (matching the
+        per-event path's sorted bucket keys), each phase's rows
+        lex-sorted — exactly the per-phase ``np.unique`` outputs,
+        concatenated.  One packed ``unique_rows`` call per batch,
+        memoized per ``vectorizable`` flag.
         """
         cache = self.__dict__.setdefault("_phase_partition", {})
         hit = cache.get(vectorizable)
         if hit is not None:
             return hit
         pairs = self.send_pairs()
-        phases: List[Tuple[int, np.ndarray, np.ndarray]] = []
         if vectorizable:
-            upairs, counts = unique_rows(pairs)
-            phases.append((pairs.shape[0], upairs, counts))
+            seg = build_phase_segments(pairs)
         else:
             send = self.locality_masks()[2]
-            times = self.times[send]
-            utimes, inverse = np.unique(times, axis=0, return_inverse=True)
-            inverse = np.asarray(inverse).ravel()
-            for k in range(utimes.shape[0]):
-                sel = pairs[inverse == k]
-                upairs, counts = unique_rows(sel)
-                phases.append((sel.shape[0], upairs, counts))
-        cache[vectorizable] = phases
-        return phases
+            seg = build_phase_segments(pairs, self.times[send])
+        cache[vectorizable] = seg
+        return seg
 
 
 def _domain_matrix(stmt, params: Dict[str, int]) -> np.ndarray:
